@@ -1,0 +1,37 @@
+# AdaMBE reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build test test-race bench repro repro-quick fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/core ./internal/baselines .
+
+# One testing.B benchmark per paper table/figure plus kernel micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation (text tables
+# to stdout, CSV series to results/). Takes tens of minutes at full scale.
+repro:
+	$(GO) run ./cmd/mbebench -exp all -tle 60s -csv results/
+
+repro-quick:
+	$(GO) run ./cmd/mbebench -exp all -quick
+
+fuzz:
+	$(GO) test ./internal/graph -fuzz FuzzReadKonect -fuzztime 30s
+	$(GO) test ./internal/graph -fuzz FuzzReadBinary -fuzztime 30s
+	$(GO) test ./internal/core -fuzz FuzzEnumerateAgreement -fuzztime 60s
+
+clean:
+	rm -rf results/

@@ -1,0 +1,191 @@
+// Benchmarks mirroring the paper's evaluation: one Benchmark* per table or
+// figure, each exercising the same code path the corresponding mbebench
+// experiment drives at full scale (run `mbebench -exp all` for the
+// paper-shaped tables; these benches give repeatable testing.B numbers on
+// small registry datasets).
+package mbe_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	mbe "repro"
+)
+
+var (
+	dsCache   = map[string]*mbe.Graph{}
+	dsCacheMu sync.Mutex
+)
+
+func dataset(b *testing.B, name string) *mbe.Graph {
+	b.Helper()
+	dsCacheMu.Lock()
+	defer dsCacheMu.Unlock()
+	if g, ok := dsCache[name]; ok {
+		return g
+	}
+	g, err := mbe.Dataset(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsCache[name] = g
+	return g
+}
+
+func runAlgo(b *testing.B, g *mbe.Graph, opts mbe.Options) {
+	b.Helper()
+	b.ReportAllocs()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		res, err := mbe.Enumerate(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Count
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "bicliques/op")
+}
+
+// BenchmarkTable1Stats regenerates a Table I row: dataset construction,
+// statistics and the maximal-biclique count.
+func BenchmarkTable1Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := mbe.Dataset("UL")
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := g.Stats()
+		n, err := mbe.Count(g)
+		if err != nil || n == 0 || st.Edges == 0 {
+			b.Fatalf("count=%d err=%v", n, err)
+		}
+	}
+}
+
+// BenchmarkFig4CGSizes measures the Baseline run that feeds the Fig. 4
+// CG-size histogram (instrumented enumeration).
+func BenchmarkFig4CGSizes(b *testing.B) {
+	g := dataset(b, "UF")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var m mbe.Metrics
+		if _, err := mbe.Enumerate(g, mbe.Options{Algorithm: mbe.BaselineMBE, Metrics: &m}); err != nil {
+			b.Fatal(err)
+		}
+		if m.NodesGenerated == 0 {
+			b.Fatal("no nodes observed")
+		}
+	}
+}
+
+// BenchmarkFig5Accesses measures the instrumented Baseline run behind the
+// Fig. 5 inside/outside-CG access split.
+func BenchmarkFig5Accesses(b *testing.B) {
+	g := dataset(b, "UF")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var m mbe.Metrics
+		if _, err := mbe.Enumerate(g, mbe.Options{Algorithm: mbe.BaselineMBE, Metrics: &m}); err != nil {
+			b.Fatal(err)
+		}
+		if m.AccessesOutsideCG == 0 {
+			b.Fatal("no outside accesses measured")
+		}
+	}
+}
+
+// BenchmarkFig8Overall is the Fig. 8 algorithm matrix on a medium dataset:
+// four serial and three parallel algorithms.
+func BenchmarkFig8Overall(b *testing.B) {
+	g := dataset(b, "Mti")
+	for _, algo := range []mbe.Algorithm{
+		mbe.FMBE, mbe.PMBE, mbe.OOMBEA, mbe.AdaMBE,
+		mbe.ParMBE, mbe.GMBESim, mbe.ParAdaMBE,
+	} {
+		b.Run(algo.String(), func(b *testing.B) {
+			runAlgo(b, g, mbe.Options{Algorithm: algo, Threads: 4})
+		})
+	}
+}
+
+// BenchmarkFig9Large drives the large-dataset path (Fig. 9): ParAdaMBE on
+// the CebWiki analogue under a TLE budget, reporting enumeration progress.
+func BenchmarkFig9Large(b *testing.B) {
+	g := dataset(b, "ceb")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := mbe.Enumerate(g, mbe.Options{
+			Algorithm: mbe.ParAdaMBE,
+			Deadline:  time.Now().Add(5 * time.Second),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Count), "bicliques/op")
+	}
+}
+
+// BenchmarkFig10Breakdown is the Fig. 10 ablation: Baseline vs AdaMBE-LN
+// vs AdaMBE-BIT vs AdaMBE on one of the paper's "larger" datasets.
+func BenchmarkFig10Breakdown(b *testing.B) {
+	g := dataset(b, "YG")
+	for _, algo := range []mbe.Algorithm{
+		mbe.BaselineMBE, mbe.AdaMBELN, mbe.AdaMBEBIT, mbe.AdaMBE,
+	} {
+		b.Run(algo.String(), func(b *testing.B) {
+			runAlgo(b, g, mbe.Options{Algorithm: algo})
+		})
+	}
+}
+
+// BenchmarkFig11Tau sweeps the bitmap threshold τ (Fig. 11); the paper's
+// expected minimum is at τ = 64.
+func BenchmarkFig11Tau(b *testing.B) {
+	g := dataset(b, "YG")
+	for _, tau := range []int{4, 8, 16, 32, 64, 128, 256, 512} {
+		b.Run(fmt.Sprintf("tau=%d", tau), func(b *testing.B) {
+			runAlgo(b, g, mbe.Options{Algorithm: mbe.AdaMBEBIT, Tau: tau})
+		})
+	}
+}
+
+// BenchmarkFig12Ordering compares the vertex orderings (Fig. 12): ASC
+// (AdaMBE's default), RAND, and ooMBEA's UC order.
+func BenchmarkFig12Ordering(b *testing.B) {
+	g := dataset(b, "YG")
+	for _, o := range []struct {
+		name string
+		kind mbe.Ordering
+	}{
+		{"ASC", mbe.OrderAscendingDegree},
+		{"RAND", mbe.OrderRandom},
+		{"UC", mbe.OrderUnilateralCore},
+	} {
+		b.Run(o.name, func(b *testing.B) {
+			runAlgo(b, g, mbe.Options{Ordering: o.kind, Seed: 7})
+		})
+	}
+}
+
+// BenchmarkFig13Scaling runs AdaMBE across the LiveJournal sample sizes
+// (Fig. 13 / Table II).
+func BenchmarkFig13Scaling(b *testing.B) {
+	for _, name := range []string{"LJ10", "LJ20", "LJ30"} {
+		g := dataset(b, name)
+		b.Run(name, func(b *testing.B) {
+			runAlgo(b, g, mbe.Options{Algorithm: mbe.AdaMBE})
+		})
+	}
+}
+
+// BenchmarkFig14Threads scales ParAdaMBE across thread counts (Fig. 14).
+func BenchmarkFig14Threads(b *testing.B) {
+	g := dataset(b, "YG")
+	for _, t := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", t), func(b *testing.B) {
+			runAlgo(b, g, mbe.Options{Algorithm: mbe.ParAdaMBE, Threads: t})
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package mbe
+
+import (
+	"time"
+
+	"repro/internal/clique"
+)
+
+// UndirectedGraph is a general (unipartite) graph for maximal clique
+// enumeration — the §V transfer of the paper's hybrid computational-
+// subgraph representation to unipartite pattern mining.
+type UndirectedGraph struct {
+	g *clique.Graph
+}
+
+// UndirectedEdge is an undirected edge {A, B}.
+type UndirectedEdge = clique.Edge
+
+// NewUndirectedGraph builds an undirected simple graph with n vertices;
+// self-loops are rejected, duplicate edges collapse.
+func NewUndirectedGraph(n int, edges []UndirectedEdge) (*UndirectedGraph, error) {
+	g, err := clique.FromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &UndirectedGraph{g}, nil
+}
+
+// N returns the vertex count.
+func (g *UndirectedGraph) N() int { return g.g.N() }
+
+// NumEdges returns the undirected edge count.
+func (g *UndirectedGraph) NumEdges() int64 { return g.g.NumEdges() }
+
+// HasEdge reports whether {a, b} is an edge.
+func (g *UndirectedGraph) HasEdge(a, b int32) bool { return g.g.HasEdge(a, b) }
+
+// CliqueHandler receives each maximal clique, sorted ascending. The slice
+// is reused by the engine; copy to retain.
+type CliqueHandler = clique.Handler
+
+// CliqueOptions configures MaximalCliques.
+type CliqueOptions struct {
+	// Tau is the bitmap threshold on the computational-subgraph size
+	// (0 = 64, the maximum).
+	Tau int
+	// OnClique receives every maximal clique, if non-nil.
+	OnClique CliqueHandler
+	// Deadline stops enumeration early.
+	Deadline time.Time
+}
+
+// CliqueResult summarizes a clique enumeration.
+type CliqueResult = clique.Result
+
+// MaximalCliques enumerates every maximal clique of g using
+// Bron–Kerbosch with pivoting, degeneracy ordering, and AdaMBE-style
+// adaptive bitmap subgraphs.
+func MaximalCliques(g *UndirectedGraph, opts CliqueOptions) (CliqueResult, error) {
+	return clique.Enumerate(g.g, clique.Options{
+		Tau:      opts.Tau,
+		OnClique: opts.OnClique,
+		Deadline: opts.Deadline,
+	})
+}

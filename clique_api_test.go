@@ -1,0 +1,49 @@
+package mbe_test
+
+import (
+	"testing"
+
+	mbe "repro"
+)
+
+func TestMaximalCliquesThroughAPI(t *testing.T) {
+	// Two triangles sharing vertex 2, plus an isolated vertex 5.
+	g, err := mbe.NewUndirectedGraph(6, []mbe.UndirectedEdge{
+		{A: 0, B: 1}, {A: 1, B: 2}, {A: 0, B: 2},
+		{A: 2, B: 3}, {A: 3, B: 4}, {A: 2, B: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 6 || g.NumEdges() != 6 || !g.HasEdge(2, 4) || g.HasEdge(0, 5) {
+		t.Fatal("graph accessors wrong")
+	}
+	var cliques [][]int32
+	res, err := mbe.MaximalCliques(g, mbe.CliqueOptions{OnClique: func(c []int32) {
+		cliques = append(cliques, append([]int32(nil), c...))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {0,1,2}, {2,3,4}, {5}.
+	if res.Count != 3 || len(cliques) != 3 {
+		t.Fatalf("count = %d, cliques = %v", res.Count, cliques)
+	}
+	sizes := map[int]int{}
+	for _, c := range cliques {
+		sizes[len(c)]++
+	}
+	if sizes[3] != 2 || sizes[1] != 1 {
+		t.Fatalf("clique sizes wrong: %v", cliques)
+	}
+}
+
+func TestMaximalCliquesValidation(t *testing.T) {
+	if _, err := mbe.NewUndirectedGraph(2, []mbe.UndirectedEdge{{A: 0, B: 0}}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	g, _ := mbe.NewUndirectedGraph(2, []mbe.UndirectedEdge{{A: 0, B: 1}})
+	if _, err := mbe.MaximalCliques(g, mbe.CliqueOptions{Tau: 100}); err == nil {
+		t.Fatal("tau > 64 accepted")
+	}
+}

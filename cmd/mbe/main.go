@@ -1,0 +1,248 @@
+// Command mbe enumerates maximal bicliques in a bipartite graph, mirroring
+// the paper artifact's MBE_ALL tool:
+//
+//	mbe -i out.github -a ParAdaMBE -t 8 -o asc -tau 64
+//	mbe -d GH -a AdaMBE               # built-in synthetic dataset
+//	mbe -d BX -a FMBE -tle 30s        # competitor with a time budget
+//	mbe -d UL -print                  # print every maximal biclique
+//
+// Input is a KONECT-format edge list (-i), a binary cache (-bin), or a
+// named synthetic dataset (-d). The graph is oriented so the smaller side
+// is V. Output reports the count, runtime (enumeration only, as in the
+// paper) and basic graph statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	mbe "repro"
+)
+
+var algorithms = map[string]mbe.Algorithm{
+	"AdaMBE":     mbe.AdaMBE,
+	"ParAdaMBE":  mbe.ParAdaMBE,
+	"Baseline":   mbe.BaselineMBE,
+	"AdaMBE-LN":  mbe.AdaMBELN,
+	"AdaMBE-BIT": mbe.AdaMBEBIT,
+	"FMBE":       mbe.FMBE,
+	"PMBE":       mbe.PMBE,
+	"ooMBEA":     mbe.OOMBEA,
+	"ParMBE":     mbe.ParMBE,
+	"GMBE":       mbe.GMBESim,
+}
+
+var orderings = map[string]mbe.Ordering{
+	"asc":  mbe.OrderAscendingDegree,
+	"rand": mbe.OrderRandom,
+	"uc":   mbe.OrderUnilateralCore,
+	"none": mbe.OrderNone,
+}
+
+func main() {
+	var (
+		input    = flag.String("i", "", "input KONECT edge-list file")
+		binary   = flag.String("bin", "", "input binary graph cache (see mbegen -bin)")
+		dataset  = flag.String("d", "", "built-in synthetic dataset name (e.g. GH, BX, ceb, LJ30)")
+		algo     = flag.String("a", "AdaMBE", "algorithm: AdaMBE|ParAdaMBE|Baseline|AdaMBE-LN|AdaMBE-BIT|FMBE|PMBE|ooMBEA|ParMBE|GMBE")
+		threads  = flag.Int("t", 0, "threads for parallel algorithms (0 = all cores)")
+		tau      = flag.Int("tau", 0, "bitmap threshold τ (0 = 64)")
+		ord      = flag.String("o", "asc", "vertex ordering for the AdaMBE family: asc|rand|uc|none")
+		seed     = flag.Int64("seed", 0, "seed for -o rand")
+		tle      = flag.Duration("tle", 0, "time budget (0 = unlimited); partial count reported on expiry")
+		print    = flag.Bool("print", false, "print every maximal biclique to stdout")
+		progress = flag.Duration("progress", 0, "print a progress line every interval (e.g. 10s)")
+		find     = flag.String("find", "", "optimization instead of enumeration: edge|balanced|vertex")
+		query    = flag.Int("query", -1, "personalized maximum biclique containing V-side vertex N")
+		minL     = flag.Int("minl", 0, "size-bounded enumeration: require |L| ≥ minl (with -minr)")
+		minR     = flag.Int("minr", 0, "size-bounded enumeration: require |R| ≥ minr (with -minl)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*input, *binary, *dataset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbe:", err)
+		os.Exit(1)
+	}
+	a, ok := algorithms[*algo]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mbe: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+	o, ok := orderings[*ord]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mbe: unknown ordering %q\n", *ord)
+		os.Exit(2)
+	}
+
+	st := g.Stats()
+	fmt.Printf("graph: |U|=%d |V|=%d |E|=%d\n", st.NU, st.NV, st.Edges)
+
+	if *find != "" || *query >= 0 || *minL > 0 || *minR > 0 {
+		if err := runFinder(g, *find, *query, *minL, *minR, *threads, *tau, *tle); err != nil {
+			fmt.Fprintln(os.Stderr, "mbe:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	opts := mbe.Options{
+		Algorithm: a,
+		Tau:       *tau,
+		Threads:   *threads,
+		Ordering:  o,
+		Seed:      *seed,
+	}
+	if *tle > 0 {
+		opts.Deadline = time.Now().Add(*tle)
+	}
+	if *print {
+		opts.OnBiclique = func(L, R []int32) {
+			fmt.Printf("L=%v R=%v\n", L, R)
+		}
+	}
+	if *progress > 0 {
+		stop := startProgress(&opts, *progress)
+		defer stop()
+	}
+
+	res, err := mbe.Enumerate(g, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbe:", err)
+		os.Exit(1)
+	}
+	status := "complete"
+	if res.TimedOut {
+		status = "TLE (partial)"
+	}
+	fmt.Printf("algorithm: %s\nmaximal bicliques: %d (%s)\nenumeration time: %v\n",
+		a, res.Count, status, res.Elapsed.Round(time.Millisecond))
+}
+
+// startProgress wraps the options' handler with an atomic counter and
+// prints an enumeration-rate line at each interval (the paper's Fig. 9b
+// style progress reporting for billion-biclique runs).
+func startProgress(opts *mbe.Options, every time.Duration) (stop func()) {
+	var n atomic.Int64
+	inner := opts.OnBiclique
+	opts.OnBiclique = func(L, R []int32) {
+		n.Add(1)
+		if inner != nil {
+			inner(L, R)
+		}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	start := time.Now()
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				el := time.Since(start).Round(time.Second)
+				cnt := n.Load()
+				rate := float64(cnt) / time.Since(start).Seconds()
+				fmt.Fprintf(os.Stderr, "progress: %d maximal bicliques in %v (%.0f/s)\n", cnt, el, rate)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// runFinder dispatches the biclique-optimization modes (-find, -query,
+// -minl/-minr).
+func runFinder(g *mbe.Graph, find string, query, minL, minR, threads, tau int, tle time.Duration) error {
+	fo := mbe.FindOptions{Threads: threads, Tau: tau}
+	if tle > 0 {
+		fo.Deadline = time.Now().Add(tle)
+	}
+	report := func(kind string, res mbe.FindResult) {
+		if !res.Found {
+			fmt.Printf("%s: no biclique found\n", kind)
+			return
+		}
+		status := ""
+		if res.TimedOut {
+			status = " (TLE: best found so far)"
+		}
+		fmt.Printf("%s%s: |L|=%d |R|=%d edges=%d\n  L=%v\n  R=%v\n",
+			kind, status, len(res.Best.L), len(res.Best.R), res.Best.Edges(), res.Best.L, res.Best.R)
+	}
+	switch {
+	case query >= 0:
+		res, err := mbe.PersonalizedMaximumBiclique(g, int32(query), fo)
+		if err != nil {
+			return err
+		}
+		report(fmt.Sprintf("personalized maximum biclique (v%d)", query), res)
+	case minL > 0 || minR > 0:
+		if minL < 1 || minR < 1 {
+			return fmt.Errorf("-minl and -minr must both be ≥ 1")
+		}
+		n, err := mbe.EnumerateSizeBounded(g, minL, minR, func(L, R []int32) {
+			fmt.Printf("L=%v R=%v\n", L, R)
+		}, fo)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("maximal bicliques with |L|≥%d and |R|≥%d: %d\n", minL, minR, n)
+	case find == "edge":
+		res, err := mbe.MaximumEdgeBiclique(g, fo)
+		if err != nil {
+			return err
+		}
+		report("maximum edge biclique", res)
+	case find == "balanced":
+		res, err := mbe.MaximumBalancedBiclique(g, fo)
+		if err != nil {
+			return err
+		}
+		report("maximum balanced biclique", res)
+	case find == "vertex":
+		res, err := mbe.MaximumVertexBiclique(g, fo)
+		if err != nil {
+			return err
+		}
+		report("maximum vertex biclique", res)
+	default:
+		return fmt.Errorf("unknown -find %q (want edge|balanced|vertex)", find)
+	}
+	return nil
+}
+
+func loadGraph(input, binary, dataset string) (*mbe.Graph, error) {
+	n := 0
+	for _, s := range []string{input, binary, dataset} {
+		if s != "" {
+			n++
+		}
+	}
+	if n != 1 {
+		return nil, fmt.Errorf("exactly one of -i, -bin, -d is required")
+	}
+	switch {
+	case input != "":
+		return mbe.LoadKonect(input)
+	case binary != "":
+		f, err := os.Open(binary)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return mbe.ReadBinary(f)
+	default:
+		return mbe.Dataset(dataset)
+	}
+}

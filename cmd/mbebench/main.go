@@ -1,0 +1,70 @@
+// Command mbebench regenerates the paper's evaluation tables and figures
+// (the equivalent of the original artifact's scripts/gen-fig-*.sh):
+//
+//	mbebench -exp fig8                 # one experiment
+//	mbebench -exp all                  # everything (Table I, Figs. 4-14)
+//	mbebench -exp fig9 -tle 60s        # custom TLE budget
+//	mbebench -exp fig8 -quick          # smoke-sized run
+//	mbebench -exp fig10 -csv results/  # also dump CSV series for plotting
+//	mbebench -exp fig12 -datasets BX,GH
+//
+// Text tables go to stdout; each experiment states which paper figure it
+// regenerates and, where applicable, the paper's headline number next to
+// the measured one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id: "+strings.Join(harness.ExperimentNames(), "|")+"|all")
+		quick   = flag.Bool("quick", false, "smoke-sized datasets and budgets")
+		tle     = flag.Duration("tle", 0, "per-run time budget (default 60s, quick 10s)")
+		threads = flag.Int("t", 0, "parallel width (0 = all cores)")
+		csvDir  = flag.String("csv", "", "directory for CSV series (optional)")
+		dsets   = flag.String("datasets", "", "comma-separated dataset override (acronyms)")
+	)
+	flag.Parse()
+
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := harness.Config{
+		Quick:   *quick,
+		TLE:     *tle,
+		Threads: *threads,
+		CSVDir:  *csvDir,
+	}
+	if *dsets != "" {
+		cfg.Datasets = strings.Split(*dsets, ",")
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = harness.ExperimentNames()
+	}
+	for _, name := range names {
+		runner, ok := harness.Experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mbebench: unknown experiment %q (want %s)\n",
+				name, strings.Join(harness.ExperimentNames(), ", "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		if err := runner(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "mbebench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

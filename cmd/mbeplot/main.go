@@ -1,0 +1,35 @@
+// Command mbeplot renders SVG figures from the CSV series a previous
+// `mbebench -csv <dir>` run produced — the equivalent of the original
+// artifact's fig/genfig.sh:
+//
+//	mbebench -exp all -csv results/
+//	mbeplot -dir results/
+//
+// One SVG per available figure is written next to its CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	dir := flag.String("dir", "results", "directory containing figN.csv files")
+	flag.Parse()
+
+	written, err := harness.RenderPlots(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbeplot:", err)
+		os.Exit(1)
+	}
+	if len(written) == 0 {
+		fmt.Fprintf(os.Stderr, "mbeplot: no fig*.csv found in %s (run mbebench -csv first)\n", *dir)
+		os.Exit(1)
+	}
+	for _, f := range written {
+		fmt.Println("wrote", f)
+	}
+}

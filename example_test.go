@@ -1,0 +1,55 @@
+package mbe_test
+
+import (
+	"fmt"
+
+	mbe "repro"
+)
+
+// ExampleEnumerate enumerates the paper's Figure 1 graph.
+func ExampleEnumerate() {
+	g, _ := mbe.FromEdges(9, 4, []mbe.Edge{
+		{U: 0, V: 0}, {U: 1, V: 0}, {U: 2, V: 0}, {U: 4, V: 0}, {U: 5, V: 0}, {U: 6, V: 0}, {U: 7, V: 0},
+		{U: 0, V: 1}, {U: 1, V: 1}, {U: 2, V: 1},
+		{U: 0, V: 2}, {U: 2, V: 2}, {U: 3, V: 2}, {U: 4, V: 2}, {U: 5, V: 2}, {U: 6, V: 2},
+		{U: 0, V: 3}, {U: 3, V: 3}, {U: 4, V: 3}, {U: 5, V: 3}, {U: 6, V: 3}, {U: 8, V: 3},
+	})
+	res, _ := mbe.Enumerate(g, mbe.Options{})
+	fmt.Println(res.Count)
+	// Output: 9
+}
+
+// ExampleCount shows the one-call convenience API.
+func ExampleCount() {
+	g := mbe.GenerateUniform(1, 20, 8, 40)
+	n, _ := mbe.Count(g)
+	fmt.Println(n > 0)
+	// Output: true
+}
+
+// ExampleMaximumEdgeBiclique finds the densest complete block of the
+// Figure 1 graph: ({u0,u4,u5,u6},{v0,v2,v3}), 12 edges.
+func ExampleMaximumEdgeBiclique() {
+	g, _ := mbe.FromEdges(9, 4, []mbe.Edge{
+		{U: 0, V: 0}, {U: 1, V: 0}, {U: 2, V: 0}, {U: 4, V: 0}, {U: 5, V: 0}, {U: 6, V: 0}, {U: 7, V: 0},
+		{U: 0, V: 1}, {U: 1, V: 1}, {U: 2, V: 1},
+		{U: 0, V: 2}, {U: 2, V: 2}, {U: 3, V: 2}, {U: 4, V: 2}, {U: 5, V: 2}, {U: 6, V: 2},
+		{U: 0, V: 3}, {U: 3, V: 3}, {U: 4, V: 3}, {U: 5, V: 3}, {U: 6, V: 3}, {U: 8, V: 3},
+	})
+	res, _ := mbe.MaximumEdgeBiclique(g, mbe.FindOptions{})
+	fmt.Println(res.Best.Edges(), len(res.Best.L), len(res.Best.R))
+	// Output: 12 4 3
+}
+
+// ExampleEnumerateSizeBounded counts only the large maximal bicliques.
+func ExampleEnumerateSizeBounded() {
+	g, _ := mbe.FromEdges(9, 4, []mbe.Edge{
+		{U: 0, V: 0}, {U: 1, V: 0}, {U: 2, V: 0}, {U: 4, V: 0}, {U: 5, V: 0}, {U: 6, V: 0}, {U: 7, V: 0},
+		{U: 0, V: 1}, {U: 1, V: 1}, {U: 2, V: 1},
+		{U: 0, V: 2}, {U: 2, V: 2}, {U: 3, V: 2}, {U: 4, V: 2}, {U: 5, V: 2}, {U: 6, V: 2},
+		{U: 0, V: 3}, {U: 3, V: 3}, {U: 4, V: 3}, {U: 5, V: 3}, {U: 6, V: 3}, {U: 8, V: 3},
+	})
+	n, _ := mbe.EnumerateSizeBounded(g, 4, 2, nil, mbe.FindOptions{})
+	fmt.Println(n)
+	// Output: 3
+}

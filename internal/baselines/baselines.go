@@ -1,0 +1,103 @@
+// Package baselines reimplements the competitor MBE algorithms the paper
+// evaluates against (§IV-A), from scratch and at the level of their core
+// algorithmic ideas:
+//
+//   - FMBE  — plain MBEA-style backtracking on global adjacency lists with
+//     an explicit excluded set; no ordering, no caching. Lowest memory,
+//     slowest runtime (the paper's Fig. 8 profile).
+//   - PMBE  — pivot-style enumeration: per-node candidate re-ordering by
+//     local degree plus containment-based skipping of duplicate nodes.
+//   - ooMBEA — unilateral-core (UC) global ordering computed up front (its
+//     runtime includes that overhead, as the paper notes for Fig. 12),
+//     then candidate-set backtracking.
+//   - ParMBE — shared-memory parallel MBE using a hash-table graph
+//     representation (§II-B) and per-vertex task parallelism.
+//   - GMBE   — the authors' GPU algorithm. No GPU exists here, so this is
+//     GMBE-sim: the same two-level decomposition (one first-level subtree
+//     per "virtual warp") with per-thread pre-allocated workspaces, run on
+//     an oversubscribed goroutine pool. It reproduces GMBE's two
+//     signatures — large pre-allocated memory and strength on
+//     many-small-subtree datasets — without claiming GPU bandwidth.
+//
+// Every implementation is cross-validated against the brute-force oracle
+// and the core engines in the tests.
+package baselines
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// Algorithm names a competitor implementation.
+type Algorithm string
+
+// The competitor algorithms evaluated in the paper.
+const (
+	FMBE   Algorithm = "FMBE"
+	PMBE   Algorithm = "PMBE"
+	OOMBEA Algorithm = "ooMBEA"
+	ParMBE Algorithm = "ParMBE"
+	GMBE   Algorithm = "GMBE"
+)
+
+// Serial lists the serial competitors (Fig. 8a left group, Fig. 13).
+func Serial() []Algorithm { return []Algorithm{FMBE, PMBE, OOMBEA} }
+
+// Parallel lists the parallel competitors (Fig. 8a right group, Fig. 14).
+func Parallel() []Algorithm { return []Algorithm{ParMBE, GMBE} }
+
+// Options configures a baseline run.
+type Options struct {
+	// Threads is used by ParMBE and GMBE; serial algorithms ignore it.
+	Threads int
+	// OnBiclique receives every maximal biclique (slices reused; parallel
+	// algorithms may call it concurrently — Run serializes user callbacks).
+	OnBiclique core.Handler
+	// Deadline, when set, stops the run early with Result.TimedOut.
+	Deadline time.Time
+}
+
+// Run executes the named competitor algorithm on g. g's V side is used in
+// its natural order except for ooMBEA, which applies its own UC ordering
+// internally (ids reported to the handler are mapped back to g's ids).
+func Run(g *graph.Bipartite, alg Algorithm, opts Options) (core.Result, error) {
+	start := time.Now()
+	var res core.Result
+	switch alg {
+	case FMBE:
+		res = runMBEA(g, mbeaConfig{}, opts)
+	case PMBE:
+		res = runMBEA(g, mbeaConfig{sortPerNode: true, skipDuplicateNodes: true}, opts)
+	case OOMBEA:
+		perm := order.Permutation(g, order.UnilateralCore, 0)
+		og, err := g.PermuteV(perm)
+		if err != nil {
+			return core.Result{}, fmt.Errorf("baselines: ooMBEA ordering: %w", err)
+		}
+		inner := opts
+		if opts.OnBiclique != nil {
+			h := opts.OnBiclique
+			buf := make([]int32, 0, 64)
+			inner.OnBiclique = func(L, R []int32) {
+				buf = buf[:0]
+				for _, v := range R {
+					buf = append(buf, perm[v])
+				}
+				h(L, buf)
+			}
+		}
+		res = runMBEA(og, mbeaConfig{}, inner)
+	case ParMBE:
+		res = runParMBE(g, opts)
+	case GMBE:
+		res = runGMBESim(g, opts)
+	default:
+		return core.Result{}, fmt.Errorf("baselines: unknown algorithm %q", alg)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

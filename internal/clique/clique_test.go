@@ -1,0 +1,305 @@
+package clique
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bruteForce enumerates maximal cliques by subset closure (n ≤ 22).
+func bruteForce(t *testing.T, g *Graph) []string {
+	t.Helper()
+	n := g.N()
+	if n > 22 {
+		t.Fatal("graph too large for oracle")
+	}
+	adj := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(int32(v)) {
+			adj[v] |= 1 << uint(w)
+		}
+	}
+	isClique := func(set uint32) bool {
+		for s := set; s != 0; s &= s - 1 {
+			v := trailing(s)
+			rest := set &^ (1 << uint(v))
+			if rest&^adj[v] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	var keys []string
+	for set := uint32(1); set < 1<<uint(n); set++ {
+		if !isClique(set) {
+			continue
+		}
+		// Maximal: no vertex outside adjacent to all members.
+		maximal := true
+		for v := 0; v < n && maximal; v++ {
+			if set&(1<<uint(v)) != 0 {
+				continue
+			}
+			if set&^adj[v] == 0 {
+				maximal = false
+			}
+		}
+		if maximal {
+			keys = append(keys, maskKey(set))
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func trailing(x uint32) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func maskKey(set uint32) string {
+	var parts []string
+	for v := 0; set != 0; v, set = v+1, set>>1 {
+		if set&1 != 0 {
+			parts = append(parts, strconv.Itoa(v))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func sliceKey(c []int32) string {
+	parts := make([]string, len(c))
+	for i, v := range c {
+		parts[i] = strconv.Itoa(int(v))
+	}
+	return strings.Join(parts, ",")
+}
+
+func collect(t *testing.T, g *Graph, tau int) ([]string, Result) {
+	t.Helper()
+	var keys []string
+	res, err := Enumerate(g, Options{Tau: tau, OnClique: func(c []int32) {
+		keys = append(keys, sliceKey(c))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(keys)
+	return keys, res
+}
+
+func randomGraph(t *testing.T, seed int64, n, m int) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Edge
+	for i := 0; i < m; i++ {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a != b {
+			edges = append(edges, Edge{a, b})
+		}
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCrossValidationAgainstOracle(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed + 1000))
+		n := 1 + rng.Intn(16)
+		m := rng.Intn(n * n)
+		g := randomGraph(t, seed, n, m)
+		want := bruteForce(t, g)
+		for _, tau := range []int{64, 1, 7} {
+			got, res := collect(t, g, tau)
+			if int64(len(want)) != res.Count {
+				t.Fatalf("seed %d tau %d: count %d, want %d", seed, tau, res.Count, len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d tau %d: clique sets differ: %v vs %v", seed, tau, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestKnownStructures(t *testing.T) {
+	// Complete graph K6: exactly one maximal clique.
+	var k6 []Edge
+	for a := int32(0); a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			k6 = append(k6, Edge{a, b})
+		}
+	}
+	g, err := FromEdges(6, k6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, res := collect(t, g, 64)
+	if res.Count != 1 || keys[0] != "0,1,2,3,4,5" {
+		t.Fatalf("K6: %v", keys)
+	}
+
+	// Edgeless graph: n singleton cliques.
+	g2, _ := FromEdges(5, nil)
+	_, res2 := collect(t, g2, 64)
+	if res2.Count != 5 {
+		t.Fatalf("edgeless: %d cliques", res2.Count)
+	}
+
+	// Cocktail-party graph K_{k×2} (complement of a perfect matching on 2k
+	// vertices): exactly 2^k maximal cliques.
+	const k = 6
+	var edges []Edge
+	for a := int32(0); a < 2*k; a++ {
+		for b := a + 1; b < 2*k; b++ {
+			if b != a+k || a >= k { // exclude matched pairs (i, i+k)
+				if b-a != k {
+					edges = append(edges, Edge{a, b})
+				}
+			}
+		}
+	}
+	g3, err := FromEdges(2*k, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res3 := collect(t, g3, 64)
+	if res3.Count != 1<<k {
+		t.Fatalf("cocktail party K_{%d×2}: %d cliques, want %d", k, res3.Count, 1<<k)
+	}
+
+	// Path P4: maximal cliques are its 3 edges.
+	g4, _ := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	keys4, _ := collect(t, g4, 64)
+	want4 := []string{"0,1", "1,2", "2,3"}
+	if len(keys4) != 3 || keys4[0] != want4[0] || keys4[1] != want4[1] || keys4[2] != want4[2] {
+		t.Fatalf("P4: %v", keys4)
+	}
+}
+
+func TestTauInvariance(t *testing.T) {
+	g := randomGraph(t, 9, 120, 1800)
+	ref, res := collect(t, g, 64)
+	if res.Count == 0 {
+		t.Fatal("degenerate graph")
+	}
+	for _, tau := range []int{1, 8, 32} {
+		got, res2 := collect(t, g, tau)
+		if res2.Count != res.Count {
+			t.Fatalf("tau %d: count %d, want %d", tau, res2.Count, res.Count)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("tau %d: sets differ", tau)
+			}
+		}
+	}
+}
+
+func TestCliquesAreMaximalAndComplete(t *testing.T) {
+	g := randomGraph(t, 11, 60, 500)
+	if _, err := Enumerate(g, Options{OnClique: func(c []int32) {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				if !g.HasEdge(c[i], c[j]) {
+					t.Fatalf("not a clique: %v", c)
+				}
+			}
+		}
+		for v := int32(0); v < int32(g.N()); v++ {
+			in := false
+			for _, x := range c {
+				if x == v {
+					in = true
+				}
+			}
+			if in {
+				continue
+			}
+			all := true
+			for _, x := range c {
+				if !g.HasEdge(v, x) {
+					all = false
+					break
+				}
+			}
+			if all {
+				t.Fatalf("clique %v extensible by %d", c, v)
+			}
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := FromEdges(-1, nil); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, err := FromEdges(3, []Edge{{0, 0}}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if _, err := FromEdges(3, []Edge{{0, 5}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	g, _ := FromEdges(3, []Edge{{0, 1}})
+	if _, err := Enumerate(g, Options{Tau: 65}); err == nil {
+		t.Fatal("tau > 64 accepted")
+	}
+	if _, err := Enumerate(g, Options{Tau: -1}); err == nil {
+		t.Fatal("negative tau accepted")
+	}
+}
+
+func TestDuplicateEdgesCollapse(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 1}, {1, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	g := randomGraph(t, 13, 200, 6000)
+	res, err := Enumerate(g, Options{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Fatal("expired deadline not reported")
+	}
+}
+
+func TestDegeneracyOrderValid(t *testing.T) {
+	g := randomGraph(t, 17, 50, 300)
+	pos, order := degeneracyOrder(g)
+	if len(order) != g.N() {
+		t.Fatalf("order length %d", len(order))
+	}
+	seen := make([]bool, g.N())
+	for i, v := range order {
+		if pos[v] != int32(i) {
+			t.Fatal("pos/order mismatch")
+		}
+		if seen[v] {
+			t.Fatal("vertex repeated")
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,448 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/bitset"
+)
+
+// bitCG is a bitmap-represented computational subgraph (§III-B): one
+// fixed-width bit mask per live V-side vertex, each bit addressing a member
+// of the L* set at bitmap-creation time. With the default τ = 64 every mask
+// is a single uint64 and each intersection is one AND, as in the paper.
+// A bitCG is created once at a node with |L*| ≤ τ, C* ≠ ∅ and reused by
+// the entire subtree. Bitmap subtrees never nest, so each engine owns a
+// single bitCG whose storage is recycled across creations (reset), keeping
+// steady-state enumeration allocation-free.
+type bitCG struct {
+	width     int      // words per mask (⌈|L*|/64⌉)
+	lids      []int32  // bit position → U id (sorted; equals L*)
+	vids      []int32  // CG-local index → V id
+	masks     []uint64 // len(vids)*width packed masks
+	nCand     int      // vids[0:nCand] are the creation node's candidates
+	framesBuf []uint64 // per-depth L_q scratch (depth ≤ |L*|), width words each
+}
+
+// reset prepares the pooled CG for a new subtree: width and L* ids set,
+// mask storage for nMasks vertices zeroed, vertex list emptied.
+func (cg *bitCG) reset(width int, lids []int32, nMasks int) {
+	cg.width = width
+	cg.lids = lids
+	cg.vids = cg.vids[:0]
+	need := nMasks * width
+	if cap(cg.masks) < need {
+		cg.masks = make([]uint64, need)
+	} else {
+		cg.masks = cg.masks[:need]
+		clear(cg.masks)
+	}
+}
+
+// growMask appends storage for one more zeroed mask (global builder path).
+func (cg *bitCG) growMask() {
+	for i := 0; i < cg.width; i++ {
+		cg.masks = append(cg.masks, 0)
+	}
+}
+
+func (cg *bitCG) mask(k int32) bitset.Mask {
+	return bitset.Mask(cg.masks[int(k)*cg.width : (int(k)+1)*cg.width])
+}
+
+func (cg *bitCG) frame(d int) bitset.Mask {
+	need := (d + 1) * cg.width
+	for cap(cg.framesBuf) < need {
+		cg.framesBuf = append(cg.framesBuf[:cap(cg.framesBuf)], 0)
+	}
+	cg.framesBuf = cg.framesBuf[:cap(cg.framesBuf)]
+	return bitset.Mask(cg.framesBuf[d*cg.width : (d+1)*cg.width])
+}
+
+// maskWidth returns the mask word-width for a bitmap whose L* has lenL
+// members: sized to the actual L* normally, padded to τ under PadBitmaps
+// (the paper's cost model for Fig. 11).
+func (e *engine) maskWidth(lenL int) int {
+	if e.padBits {
+		return bitset.WordsFor(e.tau)
+	}
+	return bitset.WordsFor(lenL)
+}
+
+func maskIntersects(a, b bitset.Mask) bool {
+	for i := range a {
+		if a[i]&b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// buildBitCGFromLN materializes the bitmap CG from a node's cached local
+// neighborhoods (Algorithm 2 line 5, reached from the LN procedure). No
+// global adjacency is touched: U_bit = L*, V_bit = live candidates plus the
+// live excluded set, and each mask is the vertex's local neighborhood
+// re-encoded as bits.
+func (e *engine) buildBitCGFromLN(L []int32, candIDs []int32, candNbrs [][]int32, exclIDs []int32, exclNbrs [][]int32) *bitCG {
+	epoch := e.stampEpoch()
+	for pos, u := range L {
+		e.uMark[u] = epoch
+		e.uVal[u] = int32(pos)
+	}
+	width := e.maskWidth(len(L))
+	nLive := len(exclIDs)
+	for _, vc := range candIDs {
+		if vc >= 0 {
+			nLive++
+		}
+	}
+	cg := &e.cg
+	cg.reset(width, L, nLive)
+	k := 0
+	fill := func(id int32, nbrs []int32) {
+		m := cg.mask(int32(k))
+		for _, u := range nbrs {
+			m.Set(int(e.uVal[u]))
+		}
+		cg.vids = append(cg.vids, id)
+		k++
+	}
+	for j, vc := range candIDs {
+		if vc >= 0 {
+			fill(vc, candNbrs[j])
+		}
+	}
+	cg.nCand = k
+	for j, x := range exclIDs {
+		fill(x, exclNbrs[j])
+	}
+	if e.collect {
+		e.metrics.BitmapsCreated++
+	}
+	return cg
+}
+
+// buildBitCGGlobal materializes the bitmap CG from the original adjacency
+// lists (the AdaMBE-BIT variant, which has no local-neighborhood cache):
+// V_bit = ⋃_{u∈L*} N(u) − R* (§III-B), with the creation node's candidates
+// registered first so candidate order is preserved, and every other member
+// of V_bit forming the excluded set.
+func (e *engine) buildBitCGGlobal(L, R, cand []int32) *bitCG {
+	epoch := e.stampEpoch()
+	for pos, u := range L {
+		e.uMark[u] = epoch
+		e.uVal[u] = int32(pos)
+	}
+	for _, v := range R {
+		e.vMark[v] = epoch
+		e.vVal[v] = -1 // R members are excluded from V_bit
+	}
+	width := e.maskWidth(len(L))
+	cg := &e.cg
+	cg.reset(width, L, len(cand))
+	cg.nCand = len(cand)
+	for k, v := range cand {
+		e.vMark[v] = epoch
+		e.vVal[v] = int32(k)
+		cg.vids = append(cg.vids, v)
+	}
+	for pos, u := range L {
+		for _, v := range e.g.NeighborsOfU(u) {
+			if e.vMark[v] != epoch {
+				e.vMark[v] = epoch
+				e.vVal[v] = int32(len(cg.vids))
+				cg.vids = append(cg.vids, v)
+				cg.growMask()
+			}
+			k := e.vVal[v]
+			if k < 0 {
+				continue // member of R*
+			}
+			cg.masks[int(k)*width+(pos>>6)] |= 1 << (uint(pos) & 63)
+		}
+	}
+	if e.collect {
+		e.metrics.BitmapsCreated++
+	}
+	return cg
+}
+
+// searchBitRoot seeds the bitwise procedure over a freshly built bitmap CG:
+// L = all of L*, candidates and excluded vertices as laid out by the
+// builder. The overwhelmingly common case — τ ≤ 64, every mask one machine
+// word — dispatches to the scalar specialization searchBit1, realizing the
+// paper's "each set intersection is a single bitwise AND between two
+// 64-bit integers".
+func (e *engine) searchBitRoot(cg *bitCG, R []int32) {
+	mark := e.ids.Mark()
+	cand := e.ids.Alloc(cg.nCand)
+	for i := range cand {
+		cand[i] = int32(i)
+	}
+	excl := e.ids.Alloc(len(cg.vids) - cg.nCand)
+	for i := range excl {
+		excl[i] = int32(cg.nCand + i)
+	}
+	t0, timed := e.enterSmallTimer(len(cg.lids))
+	if cg.width == 1 {
+		var root uint64
+		if n := len(cg.lids); n >= 64 {
+			root = ^uint64(0)
+		} else {
+			root = (1 << uint(n)) - 1
+		}
+		e.searchBit1(cg, root, R, cand, excl)
+	} else {
+		root := make(bitset.Mask, cg.width)
+		root.FillLow(len(cg.lids))
+		e.searchBit(cg, 0, root, R, cand, excl)
+	}
+	e.exitSmallTimer(t0, timed)
+	e.ids.Release(mark)
+}
+
+// searchBit1 is searchBit specialized to one-word masks: every mask is a
+// plain uint64 indexed directly in cg.masks, set intersection is a single
+// AND, the subset test a single AND+CMP, and L_q lives in a register.
+func (e *engine) searchBit1(cg *bitCG, lp uint64, R []int32, cand, excl []int32) {
+	if e.timedOut {
+		return
+	}
+	masks := cg.masks
+	for i := 0; i < len(cand); i++ {
+		if e.dl.Hit() {
+			e.timedOut = true
+			return
+		}
+		lq := lp & masks[cand[i]]
+		if e.collect {
+			e.metrics.SetIntersections++
+		}
+		if e.skipChild != nil && e.skipChild(bits.OnesCount64(lq)) {
+			continue
+		}
+
+		// Node check against the excluded set and the traversed prefix.
+		maximal := true
+		for _, xk := range excl {
+			if e.collect {
+				e.metrics.SetIntersections++
+			}
+			if lq&^masks[xk] == 0 { // lq ⊆ mask(xk)
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			for _, xk := range cand[:i] {
+				if e.collect {
+					e.metrics.SetIntersections++
+				}
+				if lq&^masks[xk] == 0 {
+					maximal = false
+					break
+				}
+			}
+		}
+		if e.collect {
+			e.metrics.NodesGenerated++
+		}
+		if !maximal {
+			if e.collect {
+				e.metrics.NodesNonMaximal++
+			}
+			continue
+		}
+
+		// Node generation.
+		mark := e.ids.Mark()
+		rem := len(cand) - i - 1
+		rq := e.ids.Alloc(len(R) + 1 + rem)
+		nr := copy(rq, R)
+		rq[nr] = cg.vids[cand[i]]
+		nr++
+		cq := e.ids.Alloc(rem)
+		nc := 0
+		for _, wk := range cand[i+1:] {
+			mw := masks[wk]
+			if e.collect {
+				e.metrics.SetIntersections++
+			}
+			switch and := lq & mw; {
+			case and == lq: // lq ⊆ mw
+				rq[nr] = cg.vids[wk]
+				nr++
+			case and != 0:
+				cq[nc] = wk
+				nc++
+			}
+		}
+		exq := e.ids.Alloc(len(excl) + i)
+		nx := 0
+		for _, xk := range excl {
+			if lq&masks[xk] != 0 {
+				exq[nx] = xk
+				nx++
+			}
+		}
+		for _, xk := range cand[:i] {
+			if lq&masks[xk] != 0 {
+				exq[nx] = xk
+				nx++
+			}
+		}
+
+		if e.collect {
+			e.metrics.NodesMaximal++
+			e.metrics.observeNode(bits.OnesCount64(lq), nc)
+		}
+		e.emitBit1(cg, lq, rq[:nr])
+		if nc > 0 && (e.skipSubtree == nil || !e.skipSubtree(bits.OnesCount64(lq), nr, nc)) {
+			e.searchBit1(cg, lq, rq[:nr], cq[:nc], exq[:nx])
+		}
+		e.ids.Release(mark)
+	}
+}
+
+// emitBit1 is emitBit for one-word L masks.
+func (e *engine) emitBit1(cg *bitCG, lq uint64, R []int32) {
+	e.count++
+	if e.handler == nil {
+		return
+	}
+	mark := e.ids.Mark()
+	L := e.ids.Alloc(bits.OnesCount64(lq))
+	n := 0
+	for w := lq; w != 0; w &= w - 1 {
+		L[n] = cg.lids[bits.TrailingZeros64(w)]
+		n++
+	}
+	e.handler(L, R)
+	e.ids.Release(mark)
+}
+
+// searchBit is the bitwise enumeration procedure (Algorithm 2, lines
+// 24-40). All vertex sets except R hold CG-local indices; every set
+// intersection is a width-word AND. The maximality test on line 29 is
+// implemented as the subset check (L_q & N_bit(v”)) == L_q.
+func (e *engine) searchBit(cg *bitCG, depth int, lp bitset.Mask, R []int32, cand, excl []int32) {
+	if e.timedOut {
+		return
+	}
+	for i := 0; i < len(cand); i++ {
+		if e.dl.Hit() {
+			e.timedOut = true
+			return
+		}
+		vk := cand[i]
+		lq := cg.frame(depth)
+		bitset.MaskAnd(lq, lp, cg.mask(vk))
+		if e.collect {
+			e.metrics.SetIntersections++
+		}
+		if e.skipChild != nil && e.skipChild(lq.Count()) {
+			continue
+		}
+
+		// Node check (lines 27-30): the excluded set is every V_bit vertex
+		// outside R ∪ C — the builder's excluded list plus candidates
+		// already traversed at this node or an ancestor within the bitmap.
+		maximal := true
+		for _, xk := range excl {
+			if e.collect {
+				e.metrics.SetIntersections++
+			}
+			if lq.SubsetOf(cg.mask(xk)) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			for _, xk := range cand[:i] {
+				if e.collect {
+					e.metrics.SetIntersections++
+				}
+				if lq.SubsetOf(cg.mask(xk)) {
+					maximal = false
+					break
+				}
+			}
+		}
+		if e.collect {
+			e.metrics.NodesGenerated++
+		}
+		if !maximal {
+			if e.collect {
+				e.metrics.NodesNonMaximal++
+			}
+			continue
+		}
+
+		// Node generation (lines 31-37).
+		mark := e.ids.Mark()
+		rem := len(cand) - i - 1
+		rq := e.ids.Alloc(len(R) + 1 + rem)
+		nr := copy(rq, R)
+		rq[nr] = cg.vids[vk]
+		nr++
+		cq := e.ids.Alloc(rem)
+		nc := 0
+		for j := i + 1; j < len(cand); j++ {
+			wk := cand[j]
+			mw := cg.mask(wk)
+			if e.collect {
+				e.metrics.SetIntersections++
+			}
+			if lq.SubsetOf(mw) {
+				rq[nr] = cg.vids[wk]
+				nr++
+			} else if maskIntersects(lq, mw) {
+				cq[nc] = wk
+				nc++
+			}
+		}
+		// Child excluded set: previous exclusions plus this node's
+		// traversed prefix, filtered to those still overlapping L_q.
+		exq := e.ids.Alloc(len(excl) + i)
+		nx := 0
+		for _, xk := range excl {
+			if maskIntersects(lq, cg.mask(xk)) {
+				exq[nx] = xk
+				nx++
+			}
+		}
+		for _, xk := range cand[:i] {
+			if maskIntersects(lq, cg.mask(xk)) {
+				exq[nx] = xk
+				nx++
+			}
+		}
+
+		if e.collect {
+			e.metrics.NodesMaximal++
+			e.metrics.observeNode(lq.Count(), nc)
+		}
+		e.emitBit(cg, lq, rq[:nr])
+		if nc > 0 && (e.skipSubtree == nil || !e.skipSubtree(lq.Count(), nr, nc)) {
+			e.searchBit(cg, depth+1, lq, rq[:nr], cq[:nc], exq[:nx])
+		}
+		e.ids.Release(mark)
+	}
+}
+
+// emitBit reports a maximal biclique found in bitmap mode, materializing
+// the L side only when a handler is attached.
+func (e *engine) emitBit(cg *bitCG, lq bitset.Mask, R []int32) {
+	e.count++
+	if e.handler == nil {
+		return
+	}
+	mark := e.ids.Mark()
+	L := e.ids.Alloc(lq.Count())
+	n := 0
+	lq.ForEach(func(bit int) {
+		L[n] = cg.lids[bit]
+		n++
+	})
+	e.handler(L, R)
+	e.ids.Release(mark)
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"slices"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/vset"
+)
+
+// engine holds all per-run (or per-worker, in the parallel case) state for
+// one enumeration. It is not safe for concurrent use; ParAdaMBE gives each
+// worker its own engine and merges results.
+type engine struct {
+	g       *graph.Bipartite
+	variant Variant
+	tau     int
+	handler Handler
+	dl      deadline
+
+	count    int64
+	timedOut bool
+
+	collect bool
+	metrics Metrics
+	inSmall bool // currently timing a |L| ≤ τ subtree (Fig. 10d)
+	padBits bool // Options.PadBitmaps
+
+	ids  slab[int32]   // vertex-id and offset scratch
+	hdrs slab[[]int32] // slice-header scratch for local-neighborhood lists
+
+	// Epoch-stamped scratch maps (see stamp.go semantics below): value is
+	// valid only when the matching mark equals the current epoch.
+	epoch int32
+	uMark []int32 // per-U stamp
+	uVal  []int32 // position of u within the current bitmap's L*
+	vMark []int32 // per-V stamp
+	vVal  []int32 // CG-local index of v within the current bitmap
+
+	// spawn, when non-nil, offers a generated maximal node to the parallel
+	// scheduler; a true return means the subtree was handed off and the
+	// caller must not recurse. The slices are slab-backed: the scheduler
+	// must detach (deep-copy) them before returning true. depth is the
+	// enumeration-tree depth of the offered node.
+	spawn func(L, R, candIDs []int32, candNbrs [][]int32, exclIDs []int32, exclNbrs [][]int32, depth int) bool
+
+	// allU caches [0, NU) for the root node.
+	allU []int32
+
+	// cg is the engine's single pooled bitmap CG (bitmap subtrees never
+	// nest; see bitCG).
+	cg bitCG
+
+	// Optional search-pruning hooks (Options.SkipChild / SkipSubtree).
+	skipChild   func(lenL int) bool
+	skipSubtree func(lenL, lenR, lenC int) bool
+}
+
+func newEngine(g *graph.Bipartite, opts Options) *engine {
+	e := &engine{
+		g:       g,
+		variant: opts.Variant,
+		tau:     opts.tau(),
+		handler: opts.OnBiclique,
+		dl:      newDeadline(opts.Deadline),
+		collect: opts.Metrics != nil,
+	}
+	e.skipChild = opts.SkipChild
+	e.skipSubtree = opts.SkipSubtree
+	e.padBits = opts.PadBitmaps
+	e.uMark = make([]int32, g.NU())
+	e.uVal = make([]int32, g.NU())
+	e.vMark = make([]int32, g.NV())
+	e.vVal = make([]int32, g.NV())
+	for i := range e.uMark {
+		e.uMark[i] = -1
+	}
+	for i := range e.vMark {
+		e.vMark[i] = -1
+	}
+	e.allU = make([]int32, g.NU())
+	for i := range e.allU {
+		e.allU[i] = int32(i)
+	}
+	return e
+}
+
+// run executes the configured variant from the root node (U, ∅, V).
+func (e *engine) run() {
+	start := time.Now()
+	switch e.variant {
+	case Baseline, BIT:
+		e.runGlobalRoot()
+	case LN, Ada:
+		e.runLNRoot()
+	}
+	if e.collect {
+		e.metrics.LargeNodeTime = time.Since(start) - e.metrics.SmallNodeTime
+	}
+}
+
+// rootScratch holds the reusable two-hop gathering buffers used by the
+// root loops. Processing root children by scanning all |V| candidates per
+// child costs O(|V|²) set intersections; instead the candidate suffix and
+// excluded prefix relevant to a root child v' are gathered from v's two-hop
+// neighborhood ⋃_{u∈N(v')} N(u), the standard root optimization in MBE
+// implementations. It is applied identically to every engine (including
+// Baseline and the competitor reimplementations), so no algorithm
+// comparison is distorted.
+type rootScratch struct {
+	suffix []int32 // two-hop vertices with id > v' (future candidates)
+	prefix []int32 // two-hop vertices with id < v' (already traversed)
+}
+
+// gatherTwoHop fills rs with the distinct two-hop neighbors of vp, split
+// around vp, using the engine's epoch stamps. skip marks vertices to omit
+// entirely (pruned root candidates); it may be nil. The suffix is returned
+// sorted ascending so candidate order matches the sequential semantics.
+func (e *engine) gatherTwoHop(vp int32, lq []int32, skip []bool, rs *rootScratch) {
+	epoch := e.stampEpoch()
+	rs.suffix = rs.suffix[:0]
+	rs.prefix = rs.prefix[:0]
+	for _, u := range lq {
+		for _, w := range e.g.NeighborsOfU(u) {
+			if w == vp || e.vMark[w] == epoch {
+				continue
+			}
+			e.vMark[w] = epoch
+			if skip != nil && skip[w] {
+				continue
+			}
+			if w > vp {
+				rs.suffix = append(rs.suffix, w)
+			} else {
+				rs.prefix = append(rs.prefix, w)
+			}
+		}
+	}
+	slices.Sort(rs.suffix)
+}
+
+// runGlobalRoot runs the root loop of Algorithm 1 (Baseline / AdaMBE-BIT):
+// for every v' ∈ V (ascending), generate the first-level node from v's
+// two-hop neighborhood and recurse with searchGlobal.
+func (e *engine) runGlobalRoot() {
+	g := e.g
+	nv := g.NV()
+	if e.collect {
+		e.metrics.observeNode(len(e.allU), nv)
+	}
+	var rs rootScratch
+	for vp := int32(0); vp < int32(nv); vp++ {
+		if g.DegV(vp) == 0 {
+			continue
+		}
+		if e.dl.Hit() {
+			e.timedOut = true
+			return
+		}
+		lq := g.NeighborsOfV(vp) // L' = U ∩ N(v')
+		if e.skipChild != nil && e.skipChild(len(lq)) {
+			continue
+		}
+		e.gatherTwoHop(vp, lq, nil, &rs)
+
+		mark := e.ids.Mark()
+		rq := e.ids.Alloc(1 + len(rs.suffix))
+		rq[0] = vp
+		nr := 1
+		cq := e.ids.Alloc(len(rs.suffix))
+		nc := 0
+		for _, vc := range rs.suffix {
+			nvc := g.NeighborsOfV(vc)
+			m := intersectLen(lq, nvc)
+			if e.collect {
+				e.metrics.SetIntersections++
+				e.metrics.AccessesInsideCG += int64(len(lq) + m)
+				e.metrics.AccessesOutsideCG += int64(len(nvc) - m)
+			}
+			if m == len(lq) {
+				rq[nr] = vc
+				nr++
+			} else { // two-hop membership guarantees m > 0
+				cq[nc] = vc
+				nc++
+			}
+		}
+		if e.collect {
+			e.metrics.NodesGenerated++
+		}
+		if e.gammaSize(lq) == nr {
+			if e.collect {
+				e.metrics.NodesMaximal++
+				e.metrics.observeNode(len(lq), nc)
+			}
+			e.emit(lq, rq[:nr])
+			if e.skipSubtree == nil || !e.skipSubtree(len(lq), nr, nc) {
+				t0, timed := e.enterSmallTimer(len(lq))
+				e.searchGlobal(lq, rq[:nr], cq[:nc], 1)
+				e.exitSmallTimer(t0, timed)
+			}
+		} else if e.collect {
+			e.metrics.NodesNonMaximal++
+		}
+		e.ids.Release(mark)
+	}
+}
+
+// runLNRoot runs the root loop of the LN engines: children are generated
+// from two-hop neighborhoods, their local-neighborhood caches are
+// materialized, and the LN pruning rule applies across root candidates.
+func (e *engine) runLNRoot() {
+	g := e.g
+	nv := g.NV()
+	if e.collect {
+		e.metrics.observeNode(len(e.allU), nv)
+	}
+	pruned := make([]bool, nv)
+	var rs rootScratch
+	for vp := int32(0); vp < int32(nv); vp++ {
+		if g.DegV(vp) == 0 || pruned[vp] {
+			continue
+		}
+		if e.dl.Hit() {
+			e.timedOut = true
+			return
+		}
+		lq := g.NeighborsOfV(vp)
+		if e.skipChild != nil && e.skipChild(len(lq)) {
+			continue
+		}
+		e.gatherTwoHop(vp, lq, pruned, &rs)
+		ep := e.stampL(lq)
+
+		idMark := e.ids.Mark()
+		hdrMark := e.hdrs.Mark()
+		rq := e.ids.Alloc(1 + len(rs.suffix))
+		rq[0] = vp
+		nr := 1
+		cqIDs := e.ids.Alloc(len(rs.suffix))
+		cqNbrs := e.hdrs.Alloc(len(rs.suffix))
+		nc := 0
+		for _, vc := range rs.suffix {
+			nb := g.NeighborsOfV(vc) // root local neighborhood = N(v_c)
+			buf := e.ids.Alloc(min(len(lq), len(nb)))
+			m := e.localIntersect(buf, lq, nb, ep)
+			e.ids.ShrinkLast(len(buf), m)
+			if e.collect {
+				e.metrics.SetIntersections++
+				e.metrics.AccessesInsideCG += int64(len(lq) + len(nb))
+			}
+			if m == len(nb) {
+				pruned[vc] = true
+				if e.collect {
+					e.metrics.NodesPruned++
+				}
+			}
+			switch {
+			case m == len(lq):
+				rq[nr] = vc
+				nr++
+				e.ids.ShrinkLast(m, 0)
+			default: // m > 0 by two-hop membership
+				cqIDs[nc] = vc
+				cqNbrs[nc] = buf[:m]
+				nc++
+			}
+		}
+
+		maximal := true
+		exIDs := e.ids.Alloc(len(rs.prefix))
+		exNbrs := e.hdrs.Alloc(len(rs.prefix))
+		nx := 0
+		for _, x := range rs.prefix {
+			nb := g.NeighborsOfV(x)
+			buf := e.ids.Alloc(min(len(lq), len(nb)))
+			m := e.localIntersect(buf, lq, nb, ep)
+			e.ids.ShrinkLast(len(buf), m)
+			if e.collect {
+				e.metrics.SetIntersections++
+				e.metrics.AccessesInsideCG += int64(len(lq) + len(nb))
+			}
+			if m == len(lq) {
+				maximal = false
+				break
+			}
+			if m > 0 {
+				exIDs[nx] = x
+				exNbrs[nx] = buf[:m]
+				nx++
+			}
+		}
+
+		if e.collect {
+			e.metrics.NodesGenerated++
+		}
+		if maximal {
+			if e.collect {
+				e.metrics.NodesMaximal++
+				e.metrics.observeNode(len(lq), nc)
+			}
+			e.emit(lq, rq[:nr])
+			if nc > 0 && (e.skipSubtree == nil || !e.skipSubtree(len(lq), nr, nc)) {
+				if e.spawn != nil &&
+					e.spawn(lq, rq[:nr], cqIDs[:nc], cqNbrs[:nc], exIDs[:nx], exNbrs[:nx], 1) {
+					// Subtree handed to the parallel scheduler.
+				} else {
+					t0, timed := e.enterSmallTimer(len(lq))
+					e.searchLN(lq, rq[:nr], cqIDs[:nc], cqNbrs[:nc], exIDs[:nx], exNbrs[:nx], 1)
+					e.exitSmallTimer(t0, timed)
+				}
+			}
+		} else if e.collect {
+			e.metrics.NodesNonMaximal++
+		}
+		e.ids.Release(idMark)
+		e.hdrs.Release(hdrMark)
+	}
+}
+
+// emit reports one maximal biclique.
+func (e *engine) emit(L, R []int32) {
+	e.count++
+	if e.handler != nil {
+		e.handler(L, R)
+	}
+}
+
+// stampL marks every member of lq in the U-side stamp map under a fresh
+// epoch, enabling O(1) membership tests for the node-generation loops.
+func (e *engine) stampL(lq []int32) int32 {
+	ep := e.stampEpoch()
+	for _, u := range lq {
+		e.uMark[u] = ep
+	}
+	return ep
+}
+
+// localIntersect writes lq ∩ nb into dst and returns the count, choosing
+// the cheapest kernel: galloping binary search when lq is much shorter
+// than nb, otherwise an O(|nb|) stamped-membership scan (ep must come from
+// a prior stampL(lq)). Results are sorted because nb (and lq) are.
+func (e *engine) localIntersect(dst, lq, nb []int32, ep int32) int {
+	if len(lq)*gallopFactor <= len(nb) {
+		return vset.IntersectGallop(dst, lq, nb)
+	}
+	n := 0
+	for _, u := range nb {
+		if e.uMark[u] == ep {
+			dst[n] = u
+			n++
+		}
+	}
+	return n
+}
+
+// stampEpoch advances the stamp epoch shared by the u/v scratch maps.
+func (e *engine) stampEpoch() int32 {
+	e.epoch++
+	if e.epoch < 0 { // wrapped after 2^31 bitmaps; reset marks
+		for i := range e.uMark {
+			e.uMark[i] = -1
+		}
+		for i := range e.vMark {
+			e.vMark[i] = -1
+		}
+		e.epoch = 0
+	}
+	return e.epoch
+}
+
+// enterSmallTimer starts the Fig. 10d small-subtree timer when crossing the
+// τ boundary; it returns a zero time when no timing should happen.
+func (e *engine) enterSmallTimer(lenL int) (time.Time, bool) {
+	if !e.collect || e.inSmall || lenL > e.tau {
+		return time.Time{}, false
+	}
+	e.inSmall = true
+	return time.Now(), true
+}
+
+func (e *engine) exitSmallTimer(t0 time.Time, started bool) {
+	if started {
+		e.metrics.SmallNodeTime += time.Since(t0)
+		e.inSmall = false
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestMetricsBaselineCountsOutsideAccesses(t *testing.T) {
+	g := randomBipartite(t, 31, 80, 25, 500)
+	var m Metrics
+	if _, err := Enumerate(g, Options{Variant: Baseline, Metrics: &m}); err != nil {
+		t.Fatal(err)
+	}
+	if m.NodesGenerated == 0 || m.SetIntersections == 0 {
+		t.Fatalf("no instrumentation recorded: %+v", m)
+	}
+	if m.NodesGenerated != m.NodesMaximal+m.NodesNonMaximal {
+		t.Fatalf("node counts inconsistent: %d != %d + %d",
+			m.NodesGenerated, m.NodesMaximal, m.NodesNonMaximal)
+	}
+	if m.AccessesOutsideCG == 0 {
+		t.Fatal("Baseline recorded zero outside-CG accesses (Fig. 5 would be empty)")
+	}
+	if m.NodesPruned != 0 {
+		t.Fatal("Baseline must not prune (LN disabled)")
+	}
+}
+
+func TestMetricsLNHasNoOutsideAccessesAndPrunes(t *testing.T) {
+	g := randomBipartite(t, 31, 80, 25, 500)
+	var base, ln Metrics
+	if _, err := Enumerate(g, Options{Variant: Baseline, Metrics: &base}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Enumerate(g, Options{Variant: LN, Metrics: &ln}); err != nil {
+		t.Fatal(err)
+	}
+	if ln.AccessesOutsideCG != 0 {
+		t.Fatalf("LN recorded %d outside-CG accesses, want 0 (§III-A)", ln.AccessesOutsideCG)
+	}
+	// The Fig. 10c claim: LN reduces nodes with non-maximal bicliques.
+	if ln.NodesNonMaximal > base.NodesNonMaximal {
+		t.Fatalf("LN non-maximal nodes %d > Baseline %d", ln.NodesNonMaximal, base.NodesNonMaximal)
+	}
+	// Counts of *maximal* nodes are identical (same biclique set).
+	if ln.NodesMaximal != base.NodesMaximal {
+		t.Fatalf("maximal node counts differ: LN %d vs Baseline %d", ln.NodesMaximal, base.NodesMaximal)
+	}
+}
+
+func TestMetricsBitCreatesBitmaps(t *testing.T) {
+	g := randomBipartite(t, 31, 80, 25, 500)
+	var m Metrics
+	if _, err := Enumerate(g, Options{Variant: BIT, Metrics: &m}); err != nil {
+		t.Fatal(err)
+	}
+	if m.BitmapsCreated == 0 {
+		t.Fatal("BIT created no bitmaps on a graph with small CGs")
+	}
+	var ada Metrics
+	if _, err := Enumerate(g, Options{Variant: Ada, Metrics: &ada}); err != nil {
+		t.Fatal(err)
+	}
+	if ada.BitmapsCreated == 0 {
+		t.Fatal("Ada created no bitmaps")
+	}
+}
+
+func TestMetricsCGHistogramPopulated(t *testing.T) {
+	g := randomBipartite(t, 31, 80, 25, 500)
+	var m Metrics
+	if _, err := Enumerate(g, Options{Variant: Baseline, Metrics: &m}); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := range m.CGHist {
+		for j := range m.CGHist[i] {
+			total += m.CGHist[i][j]
+		}
+	}
+	// Every maximal node plus the root is observed.
+	if total != m.NodesMaximal+1 {
+		t.Fatalf("histogram total %d, want %d", total, m.NodesMaximal+1)
+	}
+}
+
+func TestMetricsSmallLargeTimeSplit(t *testing.T) {
+	g := randomBipartite(t, 31, 200, 40, 1200)
+	var m Metrics
+	if _, err := Enumerate(g, Options{Variant: BIT, Metrics: &m}); err != nil {
+		t.Fatal(err)
+	}
+	if m.SmallNodeTime < 0 || m.LargeNodeTime < 0 {
+		t.Fatalf("negative time split: small=%v large=%v", m.SmallNodeTime, m.LargeNodeTime)
+	}
+	if m.SmallNodeTime == 0 && m.BitmapsCreated > 0 {
+		// Bitmap subtrees are timed as small; with bitmaps created the
+		// small time cannot be exactly zero on a monotonic clock... but
+		// very fast runs may round to 0; only require non-negative total.
+		t.Logf("small-node time rounded to zero (%d bitmaps)", m.BitmapsCreated)
+	}
+}
+
+func TestMetricsParallelMerge(t *testing.T) {
+	g := randomBipartite(t, 31, 120, 30, 800)
+	var serial, par Metrics
+	if _, err := Enumerate(g, Options{Variant: Ada, Metrics: &serial}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Enumerate(g, Options{Variant: Ada, Threads: 4, Metrics: &par}); err != nil {
+		t.Fatal(err)
+	}
+	// The set of maximal nodes is identical regardless of scheduling.
+	if par.NodesMaximal != serial.NodesMaximal {
+		t.Fatalf("parallel maximal nodes %d, serial %d", par.NodesMaximal, serial.NodesMaximal)
+	}
+}
+
+func TestHistBucket(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 31: 4, 32: 5, 1 << 20: 20, 1 << 25: 20}
+	for n, want := range cases {
+		if got := histBucket(n); got != want {
+			t.Fatalf("histBucket(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Property: pruning never changes the enumerated count (testing/quick over
+// random adjacency structures).
+func TestQuickLNPruningPreservesCounts(t *testing.T) {
+	f := func(rows [6][]uint8) bool {
+		adj := make([][]int32, 6)
+		for i, row := range rows {
+			for _, x := range row {
+				adj[i] = append(adj[i], int32(x%20))
+			}
+		}
+		g, err := graph.FromAdjacency(20, adj)
+		if err != nil {
+			return false
+		}
+		a, err1 := Enumerate(g, Options{Variant: Baseline})
+		b, err2 := Enumerate(g, Options{Variant: LN})
+		return err1 == nil && err2 == nil && a.Count == b.Count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: τ is a pure performance knob — counts are τ-invariant.
+func TestQuickTauInvariance(t *testing.T) {
+	f := func(rows [5][]uint8, tauSeed uint8) bool {
+		adj := make([][]int32, 5)
+		for i, row := range rows {
+			for _, x := range row {
+				adj[i] = append(adj[i], int32(x%30))
+			}
+		}
+		g, err := graph.FromAdjacency(30, adj)
+		if err != nil {
+			return false
+		}
+		tau := 1 + int(tauSeed)%140
+		a, err1 := Enumerate(g, Options{Variant: Ada})
+		b, err2 := Enumerate(g, Options{Variant: Ada, Tau: tau})
+		return err1 == nil && err2 == nil && a.Count == b.Count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// spawnMaxDepth bounds how deep in the enumeration tree nodes may still be
+// handed to other workers. The paper's ParAdaMBE parallelizes the outer
+// enumeration loops via TBB; here shallow subtrees become tasks on a shared
+// queue and deeper recursion stays worker-local, which keeps the
+// detach-copy overhead negligible while providing enough tasks for dynamic
+// load balancing on skewed datasets (CebWiki-like hubs).
+const spawnMaxDepth = 8
+
+// enumerateParallel is ParAdaMBE: a goroutine pool consuming detached
+// enumeration-tree nodes from a shared queue. Pushes are non-blocking (a
+// full queue means the producing worker just recurses inline), so the pool
+// can never deadlock, and sibling-generation semantics are identical to the
+// serial engine, so the enumerated biclique set is exactly the same.
+func enumerateParallel(g *graph.Bipartite, opts Options) Result {
+	threads := opts.Threads
+	queue := make(chan *detachedNode, threads*64)
+	var pending sync.WaitGroup // outstanding tasks
+	var workers sync.WaitGroup
+	var total atomic.Int64
+	var timedOut atomic.Bool
+
+	// Serialize user callbacks; the engines themselves never share state.
+	handler := opts.OnBiclique
+	if handler != nil {
+		var mu sync.Mutex
+		inner := handler
+		handler = func(L, R []int32) {
+			mu.Lock()
+			defer mu.Unlock()
+			inner(L, R)
+		}
+	}
+	workerOpts := opts
+	workerOpts.OnBiclique = handler
+
+	var metricsMu sync.Mutex
+	for w := 0; w < threads; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			e := newEngine(g, workerOpts)
+			e.spawn = func(L, R, candIDs []int32, candNbrs [][]int32, exclIDs []int32, exclNbrs [][]int32, depth int) bool {
+				if len(queue) >= cap(queue) {
+					return false // cheap pre-check before paying the copy
+				}
+				n := detachNode(L, R, candIDs, candNbrs, exclIDs, exclNbrs)
+				n.depth = depth
+				pending.Add(1)
+				select {
+				case queue <- n:
+					return true
+				default:
+					pending.Done()
+					return false
+				}
+			}
+			for n := range queue {
+				if timedOut.Load() {
+					pending.Done()
+					continue
+				}
+				if n.isRoot {
+					e.runLNRoot()
+				} else {
+					e.searchLN(n.L, n.R, n.candIDs, n.candNbrs, n.exclIDs, n.exclNbrs, n.depth)
+				}
+				if e.timedOut {
+					timedOut.Store(true)
+				}
+				pending.Done()
+			}
+			total.Add(e.count)
+			if opts.Metrics != nil {
+				metricsMu.Lock()
+				opts.Metrics.merge(&e.metrics)
+				metricsMu.Unlock()
+			}
+		}()
+	}
+
+	// Seed with a root marker: the worker that picks it up runs the
+	// two-hop root loop, spawning every first-level subtree as a task.
+	pending.Add(1)
+	queue <- &detachedNode{isRoot: true}
+	go func() {
+		pending.Wait()
+		close(queue)
+	}()
+	workers.Wait()
+
+	return Result{Count: total.Load(), TimedOut: timedOut.Load()}
+}

@@ -1,0 +1,18 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/order"
+)
+
+func BenchmarkProfileAdaGH(b *testing.B) {
+	s, _ := datasets.ByName("GH")
+	g := order.Apply(s.Build(), order.DegreeAscending, 0)
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(g, Options{Variant: Ada}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

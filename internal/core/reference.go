@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// BicliqueKey returns a canonical, order-independent string key for a
+// biclique: both sides sorted ascending, "u,u,…|v,v,…". It is the
+// cross-validation currency of the test suites: two enumerators agree iff
+// their key sets are equal.
+func BicliqueKey(L, R []int32) string {
+	ls := append([]int32(nil), L...)
+	rs := append([]int32(nil), R...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	var b strings.Builder
+	for i, u := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(u)))
+	}
+	b.WriteByte('|')
+	for i, v := range rs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(v)))
+	}
+	return b.String()
+}
+
+// MaxBruteForceV bounds |V| for the brute-force oracle (2^|V| subsets).
+const MaxBruteForceV = 22
+
+// BruteForceKeys enumerates every maximal biclique of g by exhaustive
+// closure over subsets of V and returns their sorted canonical keys. It is
+// an oracle for tests: O(2^|V| · |V| · Δ) time, valid only for
+// |V| ≤ MaxBruteForceV. A biclique here has both sides non-empty, matching
+// the enumeration engines' convention.
+//
+// Method: for each non-empty R ⊆ V compute Γ(R) = ⋂_{v∈R} N(v); the pair
+// (Γ(R), R) is a maximal biclique iff Γ(R) ≠ ∅ and R is closed, i.e.
+// R = {v : Γ(R) ⊆ N(v)}. Every maximal biclique arises from exactly one
+// closed R, so no deduplication is needed.
+func BruteForceKeys(g *graph.Bipartite) []string {
+	nv := g.NV()
+	if nv > MaxBruteForceV {
+		panic("core: BruteForceKeys graph too large")
+	}
+	var keys []string
+	for rMask := uint32(1); rMask < uint32(1)<<nv; rMask++ {
+		gamma := gammaOfMask(g, rMask)
+		if len(gamma) == 0 {
+			continue
+		}
+		// Closure: all v whose neighborhood contains Γ(R).
+		var closure uint32
+		for v := int32(0); v < int32(nv); v++ {
+			if isSubset(gamma, g.NeighborsOfV(v)) {
+				closure |= 1 << uint(v)
+			}
+		}
+		if closure != rMask {
+			continue
+		}
+		var rs []int32
+		for v := int32(0); v < int32(nv); v++ {
+			if rMask&(1<<uint(v)) != 0 {
+				rs = append(rs, v)
+			}
+		}
+		keys = append(keys, BicliqueKey(gamma, rs))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func gammaOfMask(g *graph.Bipartite, rMask uint32) []int32 {
+	var gamma []int32
+	first := true
+	for v := int32(0); rMask != 0; v, rMask = v+1, rMask>>1 {
+		if rMask&1 == 0 {
+			continue
+		}
+		nv := g.NeighborsOfV(v)
+		if first {
+			gamma = append([]int32(nil), nv...)
+			first = false
+			continue
+		}
+		n := intersectInto(gamma, gamma, nv)
+		gamma = gamma[:n]
+		if n == 0 {
+			return nil
+		}
+	}
+	return gamma
+}
+
+// CollectKeys runs Enumerate with a key-collecting handler and returns the
+// sorted canonical keys plus the result. Intended for tests (it retains
+// every biclique).
+func CollectKeys(g *graph.Bipartite, opts Options) ([]string, Result, error) {
+	var keys []string
+	opts.OnBiclique = func(L, R []int32) {
+		keys = append(keys, BicliqueKey(L, R))
+	}
+	res, err := Enumerate(g, opts)
+	if err != nil {
+		return nil, res, err
+	}
+	sort.Strings(keys)
+	return keys, res, nil
+}

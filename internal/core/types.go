@@ -1,0 +1,241 @@
+// Package core implements the paper's maximal biclique enumeration (MBE)
+// algorithms: the backtracking Baseline (Algorithm 1), the two AdaMBE
+// techniques — LN (local-neighborhood computational subgraphs, §III-A) and
+// BIT (bitmap representation of small computational subgraphs, §III-B) —
+// their integration AdaMBE (Algorithm 2), and the parallel ParAdaMBE.
+//
+// All engines operate on a graph whose V side has already been permuted
+// into the desired processing order (see internal/order); candidates are
+// always consumed in ascending V id.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Variant selects which enumeration algorithm runs.
+type Variant int
+
+const (
+	// Baseline is Algorithm 1: backtracking on the original adjacency
+	// lists, global Γ(L') maximality checks, no LN, no BIT. This is the
+	// "Baseline" of the paper's breakdown analysis (§IV-C).
+	Baseline Variant = iota
+	// LN enables only the local-neighborhood technique (AdaMBE-LN).
+	LN
+	// BIT enables only the bitmap technique (AdaMBE-BIT): Algorithm 1 for
+	// large nodes, the bitwise procedure once |L| ≤ τ and C ≠ ∅.
+	BIT
+	// Ada is full AdaMBE (Algorithm 2): LN for large nodes, BIT below τ.
+	Ada
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case Baseline:
+		return "Baseline"
+	case LN:
+		return "AdaMBE-LN"
+	case BIT:
+		return "AdaMBE-BIT"
+	case Ada:
+		return "AdaMBE"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// DefaultTau is the paper's default bitmap threshold τ (§III-B: one 64-bit
+// word per set intersection).
+const DefaultTau = 64
+
+// MaxTau bounds configurable τ; masks are ⌈τ/64⌉ words.
+const MaxTau = 4096
+
+// Handler receives each maximal biclique (L ⊆ U, R ⊆ V). The slices are
+// reused by the engine and must be copied if retained. Parallel engines may
+// invoke the handler concurrently from multiple goroutines.
+type Handler func(L, R []int32)
+
+// Options configures an enumeration run.
+type Options struct {
+	// Variant selects the algorithm; default Baseline.
+	Variant Variant
+	// Tau is the bitmap threshold τ; 0 means DefaultTau. Only meaningful
+	// for BIT and Ada.
+	Tau int
+	// Threads > 1 runs the parallel engine (ParAdaMBE for Ada, a parallel
+	// Baseline otherwise is not provided — parallel runs require Ada).
+	Threads int
+	// OnBiclique, if non-nil, is called for every maximal biclique.
+	OnBiclique Handler
+	// Deadline, if non-zero, makes the run stop (reporting partial counts
+	// and Result.TimedOut) once the deadline passes. This implements the
+	// paper's 48-hour TLE protocol at laptop scale (Fig. 9b).
+	Deadline time.Time
+	// Metrics, if non-nil, gathers the instrumentation behind Figures 4,
+	// 5 and 10 (CG-size histogram, inside/outside-CG vertex accesses,
+	// non-maximal node counts, small/large-node time split).
+	Metrics *Metrics
+
+	// PadBitmaps forces every bitmap CG's mask width to ⌈τ/64⌉ words
+	// instead of ⌈|L*|/64⌉. The paper's τ-sensitivity analysis (Fig. 11,
+	// "when τ exceeds 64 the running time increases due to the additional
+	// time required for each set intersection") implies masks sized by τ;
+	// this implementation normally sizes them by the actual |L*| at
+	// creation (often a single word even for large τ), which shifts the
+	// optimum. Enable this to reproduce the paper's cost model.
+	PadBitmaps bool
+
+	// SkipChild, if non-nil, is consulted with |L'| before a child node is
+	// generated; returning true skips the child and its entire subtree.
+	// Because L only shrinks down any path, this is sound exactly for
+	// predicates that are downward-closed in |L| (e.g. |L'| < p for
+	// size-bounded search, or |L'|·bound ≤ best for branch-and-bound).
+	// Skipped bicliques are NOT reported. The paper's §V positions AdaMBE
+	// as a substrate for maximum-biclique problems; this hook (plus
+	// SkipSubtree) is that substrate. Must be safe for concurrent calls
+	// when Threads > 1.
+	SkipChild func(lenL int) bool
+	// SkipSubtree, if non-nil, is consulted after a maximal node
+	// (|L|, |R|, |C|) is generated and reported; returning true skips the
+	// recursion below it. Sound for bounds monotone under L-shrinking and
+	// R-growth capped by |R|+|C|. Must be safe for concurrent calls when
+	// Threads > 1.
+	SkipSubtree func(lenL, lenR, lenC int) bool
+}
+
+func (o *Options) tau() int {
+	if o.Tau == 0 {
+		return DefaultTau
+	}
+	return o.Tau
+}
+
+// Result summarizes an enumeration run.
+type Result struct {
+	// Count is the number of maximal bicliques reported.
+	Count int64
+	// TimedOut is set when the run stopped at Options.Deadline.
+	TimedOut bool
+	// Elapsed is the wall-clock enumeration time (graph loading excluded,
+	// as in §IV-A).
+	Elapsed time.Duration
+}
+
+// Metrics carries the instrumentation counters used by the paper's
+// motivation and breakdown figures. Counters are only approximate under the
+// parallel engine (merged per worker without ordering).
+type Metrics struct {
+	// NodesGenerated counts enumeration-tree nodes whose (L', R', C') sets
+	// were materialized (maximal or not).
+	NodesGenerated int64
+	// NodesMaximal / NodesNonMaximal split NodesGenerated by the Γ check.
+	NodesMaximal    int64
+	NodesNonMaximal int64
+	// NodesPruned counts children skipped by the LN pruning rule
+	// (§III-A(3)); they are not included in NodesGenerated.
+	NodesPruned int64
+	// AccessesInsideCG / AccessesOutsideCG count adjacency entries touched
+	// during set operations that fall inside vs outside the current
+	// computational subgraph (Fig. 5).
+	AccessesInsideCG  int64
+	AccessesOutsideCG int64
+	// SetIntersections counts pairwise set-intersection operations.
+	SetIntersections int64
+	// CGHist is a log₂-bucketed joint histogram of (|L|, |C|) over all
+	// nodes entered (Fig. 4): CGHist[i][j] counts nodes with
+	// 2^i ≤ max(|L|,1) < 2^(i+1) and likewise j for |C|.
+	CGHist [CGHistBuckets][CGHistBuckets]int64
+	// SmallNodeTime / LargeNodeTime split enumeration time at the τ
+	// boundary (Fig. 10d): SmallNodeTime is the total time spent inside
+	// maximal subtrees whose roots have |L| ≤ τ.
+	SmallNodeTime time.Duration
+	LargeNodeTime time.Duration
+	// BitmapsCreated counts bitmap CGs materialized by BIT.
+	BitmapsCreated int64
+}
+
+// CGHistBuckets is the number of log₂ buckets per axis in Metrics.CGHist
+// (bucket 20 holds everything ≥ 2^20).
+const CGHistBuckets = 21
+
+func histBucket(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	if b >= CGHistBuckets {
+		b = CGHistBuckets - 1
+	}
+	return b
+}
+
+func (m *Metrics) observeNode(lenL, lenC int) {
+	m.CGHist[histBucket(lenL)][histBucket(lenC)]++
+}
+
+// merge adds o's counters into m (parallel workers).
+func (m *Metrics) merge(o *Metrics) {
+	m.NodesGenerated += o.NodesGenerated
+	m.NodesMaximal += o.NodesMaximal
+	m.NodesNonMaximal += o.NodesNonMaximal
+	m.NodesPruned += o.NodesPruned
+	m.AccessesInsideCG += o.AccessesInsideCG
+	m.AccessesOutsideCG += o.AccessesOutsideCG
+	m.SetIntersections += o.SetIntersections
+	m.SmallNodeTime += o.SmallNodeTime
+	m.LargeNodeTime += o.LargeNodeTime
+	m.BitmapsCreated += o.BitmapsCreated
+	for i := range m.CGHist {
+		for j := range m.CGHist[i] {
+			m.CGHist[i][j] += o.CGHist[i][j]
+		}
+	}
+}
+
+// ErrBadOptions reports invalid enumeration options.
+var ErrBadOptions = errors.New("core: invalid options")
+
+// Enumerate runs the selected algorithm over g and returns the result.
+// g's V side must already be in the desired processing order.
+func Enumerate(g *graph.Bipartite, opts Options) (Result, error) {
+	if opts.Tau < 0 || opts.Tau > MaxTau {
+		return Result{}, fmt.Errorf("%w: tau %d out of range (0, %d]", ErrBadOptions, opts.Tau, MaxTau)
+	}
+	if opts.Threads < 0 {
+		return Result{}, fmt.Errorf("%w: negative thread count %d", ErrBadOptions, opts.Threads)
+	}
+	if opts.Threads > 1 && opts.Variant != Ada {
+		return Result{}, fmt.Errorf("%w: the parallel engine is ParAdaMBE and requires Variant == Ada", ErrBadOptions)
+	}
+	switch opts.Variant {
+	case Baseline, LN, BIT, Ada:
+	default:
+		return Result{}, fmt.Errorf("%w: unknown variant %d", ErrBadOptions, int(opts.Variant))
+	}
+
+	start := time.Now()
+	var res Result
+	if opts.Threads > 1 {
+		res = enumerateParallel(g, opts)
+	} else {
+		e := newEngine(g, opts)
+		e.run()
+		res = Result{Count: e.count, TimedOut: e.timedOut}
+		if opts.Metrics != nil {
+			opts.Metrics.merge(&e.metrics)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/tle"
+	"repro/internal/vset"
+)
+
+// Type and function aliases keep the enumeration kernels terse; the shared
+// implementations live in internal/vset and internal/tle.
+type slab[T any] = vset.Slab[T]
+
+func intersectInto(dst, a, b []int32) int { return vset.IntersectInto(dst, a, b) }
+
+// gallopFactor selects binary-search intersection when one operand is at
+// least this many times shorter than the other.
+const gallopFactor = 16
+
+func intersectLen(a, b []int32) int { return vset.IntersectLen(a, b) }
+func isSubset(a, b []int32) bool    { return vset.IsSubset(a, b) }
+
+type deadline = tle.Deadline
+
+func newDeadline(at time.Time) deadline { return tle.New(at) }

@@ -1,0 +1,37 @@
+package datasets
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// TestCalibration prints per-dataset stats and AdaMBE counts/runtimes.
+// Run with: go test ./internal/datasets -run Calibration -v -calibrate
+// It is skipped in -short mode and bounded per dataset.
+func TestCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration skipped in short mode")
+	}
+	for _, s := range All() {
+		s := s
+		t.Run(s.Acronym, func(t *testing.T) {
+			g := s.Build()
+			st := graph.Summarize(g)
+			og := order.Apply(g, order.DegreeAscending, 0)
+			start := time.Now()
+			res, err := core.Enumerate(og, core.Options{
+				Variant:  core.Ada,
+				Deadline: time.Now().Add(30 * time.Second),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-6s |U|=%-7d |V|=%-7d |E|=%-8d MB=%-10d timedOut=%v elapsed=%v",
+				s.Acronym, st.NU, st.NV, st.Edges, res.Count, res.TimedOut, time.Since(start).Round(time.Millisecond))
+		})
+	}
+}

@@ -1,0 +1,241 @@
+// Package datasets is the registry of synthetic stand-ins for the paper's
+// datasets (Table I general + large sets, Table II LiveJournal samples).
+// The real KONECT downloads are unavailable offline, so each entry is a
+// seeded generator chosen to echo the original's *structure* — side skew,
+// degree tail, community overlap — at a scale where every experiment
+// finishes on a laptop. Entries are listed in the paper's order (ascending
+// maximal-biclique count); the reproduction requirement is that this
+// ordering and the algorithm rankings survive, not the absolute numbers.
+//
+// If a real KONECT edge list is present on disk, cmd/mbe can load it
+// directly via graph.ReadKonectFile; the registry is only the offline
+// default.
+package datasets
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Spec describes one dataset: how to build the synthetic analogue and what
+// the paper reported for the original (for EXPERIMENTS.md comparisons).
+type Spec struct {
+	Name     string // full name used in Table I
+	Acronym  string // paper's acronym (UL, UF, …)
+	Category string // paper's category column
+	Kind     string // "general", "large" or "lj"
+
+	// Paper-scale statistics of the original dataset (Table I / II).
+	PaperU, PaperV, PaperE int64
+	PaperMB                int64
+
+	// Build generates the analogue, oriented so |V| ≤ |U|.
+	Build func() *graph.Bipartite
+}
+
+func orient(g *graph.Bipartite) *graph.Bipartite { return g.Orient() }
+
+// General returns the twelve general datasets of Table I, in the paper's
+// (ascending maximal-biclique-count) order.
+func General() []Spec {
+	return []Spec{
+		{
+			Name: "Unicode", Acronym: "UL", Category: "Feature", Kind: "general",
+			PaperU: 614, PaperV: 254, PaperE: 1255, PaperMB: 460,
+			Build: func() *graph.Bipartite {
+				return orient(gen.Uniform(101, 614, 254, 1255))
+			},
+		},
+		{
+			Name: "UCforum", Acronym: "UF", Category: "Interaction", Kind: "general",
+			PaperU: 899, PaperV: 522, PaperE: 7089, PaperMB: 16261,
+			Build: func() *graph.Bipartite {
+				return orient(gen.Uniform(102, 899, 522, 7089))
+			},
+		},
+		{
+			Name: "MovieLens", Acronym: "Mti", Category: "Feature", Kind: "general",
+			PaperU: 16528, PaperV: 7601, PaperE: 71154, PaperMB: 140266,
+			Build: func() *graph.Bipartite {
+				return orient(gen.PowerLaw(103, 8000, 3600, 36000, 1.35, 1.35))
+			},
+		},
+		{
+			Name: "Teams", Acronym: "TM", Category: "Affiliation", Kind: "general",
+			PaperU: 901130, PaperV: 34461, PaperE: 1366466, PaperMB: 517943,
+			Build: func() *graph.Bipartite {
+				return orient(gen.Affiliation(104, gen.AffiliationConfig{
+					NU: 60000, NV: 2400, Communities: 5200,
+					MeanU: 14, MeanV: 2, Density: 0.9, NoiseEdges: 8000,
+				}))
+			},
+		},
+		{
+			Name: "ActorMovies", Acronym: "AM", Category: "Affiliation", Kind: "general",
+			PaperU: 383640, PaperV: 127823, PaperE: 1470404, PaperMB: 1075444,
+			Build: func() *graph.Bipartite {
+				return orient(gen.Affiliation(105, gen.AffiliationConfig{
+					NU: 40000, NV: 13000, Communities: 5500,
+					MeanU: 10, MeanV: 3, Density: 0.95, NoiseEdges: 10000,
+				}))
+			},
+		},
+		{
+			Name: "Wikipedia", Acronym: "WC", Category: "Feature", Kind: "general",
+			PaperU: 1853493, PaperV: 182947, PaperE: 3795796, PaperMB: 1677522,
+			Build: func() *graph.Bipartite {
+				return orient(gen.PowerLaw(106, 30000, 3600, 130000, 1.55, 1.5))
+			},
+		},
+		{
+			Name: "YouTube", Acronym: "YG", Category: "Affiliation", Kind: "general",
+			PaperU: 94238, PaperV: 30087, PaperE: 293360, PaperMB: 1826587,
+			Build: func() *graph.Bipartite {
+				return orient(gen.Affiliation(107, gen.AffiliationConfig{
+					NU: 16000, NV: 5000, Communities: 2600,
+					MeanU: 12, MeanV: 4, Density: 0.85, NoiseEdges: 9000,
+				}))
+			},
+		},
+		{
+			Name: "StackOverflow", Acronym: "SO", Category: "Rating", Kind: "general",
+			PaperU: 545195, PaperV: 96680, PaperE: 1301942, PaperMB: 3320824,
+			Build: func() *graph.Bipartite {
+				return orient(gen.PowerLaw(108, 24000, 4200, 113000, 1.52, 1.45))
+			},
+		},
+		{
+			Name: "DBLP", Acronym: "Pa", Category: "Authorship", Kind: "general",
+			PaperU: 5624219, PaperV: 1953085, PaperE: 12282059, PaperMB: 4899032,
+			Build: func() *graph.Bipartite {
+				return orient(gen.Affiliation(109, gen.AffiliationConfig{
+					NU: 70000, NV: 24000, Communities: 14000,
+					MeanU: 6, MeanV: 4, Density: 0.97, NoiseEdges: 12000,
+				}))
+			},
+		},
+		{
+			Name: "IMDB", Acronym: "IM", Category: "Affiliation", Kind: "general",
+			PaperU: 896302, PaperV: 303617, PaperE: 3782463, PaperMB: 5160061,
+			Build: func() *graph.Bipartite {
+				return orient(gen.Affiliation(110, gen.AffiliationConfig{
+					NU: 48000, NV: 16000, Communities: 7000,
+					MeanU: 11, MeanV: 4, Density: 0.9, NoiseEdges: 14000,
+				}))
+			},
+		},
+		{
+			Name: "BookCrossing", Acronym: "BX", Category: "Interaction", Kind: "general",
+			PaperU: 340523, PaperV: 105278, PaperE: 1149739, PaperMB: 54458953,
+			Build: func() *graph.Bipartite {
+				return orient(gen.Affiliation(111, gen.AffiliationConfig{
+					NU: 9000, NV: 2600, Communities: 1500,
+					MeanU: 14, MeanV: 6, Density: 0.82, NoiseEdges: 7000,
+				}))
+			},
+		},
+		{
+			Name: "Github", Acronym: "GH", Category: "Authorship", Kind: "general",
+			PaperU: 120867, PaperV: 56519, PaperE: 440237, PaperMB: 55346398,
+			Build: func() *graph.Bipartite {
+				return orient(gen.Affiliation(112, gen.AffiliationConfig{
+					NU: 7000, NV: 2200, Communities: 1300,
+					MeanU: 15, MeanV: 7, Density: 0.8, NoiseEdges: 5000,
+				}))
+			},
+		},
+	}
+}
+
+// Large returns the two large datasets of Table I (Fig. 9).
+func Large() []Spec {
+	return []Spec{
+		{
+			Name: "CebWiki", Acronym: "ceb", Category: "Authorship", Kind: "large",
+			PaperU: 8483068, PaperV: 3132, PaperE: 11792890, PaperMB: 263138916,
+			Build: func() *graph.Bipartite {
+				// Extreme side skew: a tiny V of super-hubs, like the
+				// bot-driven CebWiki edit graph.
+				return orient(gen.PowerLaw(113, 90000, 300, 430000, 1.18, 1.6))
+			},
+		},
+		{
+			Name: "TVTropes", Acronym: "DBT", Category: "Feature", Kind: "large",
+			PaperU: 87678, PaperV: 64415, PaperE: 3232134, PaperMB: 19636996096,
+			Build: func() *graph.Bipartite {
+				// Dense overlapping feature blocks: the biclique-count
+				// explosion dataset (19.6B in the paper).
+				return orient(gen.Affiliation(114, gen.AffiliationConfig{
+					NU: 12000, NV: 6200, Communities: 3100,
+					MeanU: 20, MeanV: 9, Density: 0.78, NoiseEdges: 11000,
+				}))
+			},
+		},
+	}
+}
+
+var (
+	ljOnce   sync.Once
+	ljParent *graph.Bipartite
+)
+
+// LJParent returns the shared synthetic LiveJournal-analogue parent graph
+// from which the LJ samples are drawn (paper: |U|=7.5M, |V|=3.2M,
+// |E|=112M; here scaled down ~50×).
+func LJParent() *graph.Bipartite {
+	ljOnce.Do(func() {
+		ljParent = gen.Affiliation(115, gen.AffiliationConfig{
+			NU: 60000, NV: 26000, Communities: 11000,
+			MeanU: 14, MeanV: 6, Density: 1.0, NoiseEdges: 90000,
+		})
+	})
+	return ljParent
+}
+
+// LJ returns the five sampled datasets of Table II (LJ10–LJ50): x% of the
+// parent's edges, matching the paper's sampling protocol.
+func LJ() []Spec {
+	specs := make([]Spec, 0, 5)
+	paperStats := []struct{ u, v, e, mb int64 }{
+		{2301031, 1421088, 11227130, 7430705},
+		{2704651, 2357485, 22456757, 61836924},
+		{3163966, 2889804, 33686334, 343257225},
+		{3894262, 2992774, 44917368, 1524229722},
+		{4572628, 3057410, 56150150, 6387845280},
+	}
+	for i, pct := range []int{10, 20, 30, 40, 50} {
+		frac := float64(pct) / 100
+		ps := paperStats[i]
+		specs = append(specs, Spec{
+			Name:    fmt.Sprintf("LJ%d", pct),
+			Acronym: fmt.Sprintf("LJ%d", pct),
+			Kind:    "lj", Category: "Sampled",
+			PaperU: ps.u, PaperV: ps.v, PaperE: ps.e, PaperMB: ps.mb,
+			Build: func() *graph.Bipartite {
+				return orient(gen.SampleEdges(LJParent(), frac, 116))
+			},
+		})
+	}
+	return specs
+}
+
+// All returns every registered dataset.
+func All() []Spec {
+	out := General()
+	out = append(out, Large()...)
+	out = append(out, LJ()...)
+	return out
+}
+
+// ByName finds a dataset by full name or acronym (case-sensitive).
+func ByName(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name || s.Acronym == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,130 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+func TestRegistryShape(t *testing.T) {
+	if n := len(General()); n != 12 {
+		t.Fatalf("General() has %d entries, want 12 (Table I)", n)
+	}
+	if n := len(Large()); n != 2 {
+		t.Fatalf("Large() has %d entries, want 2", n)
+	}
+	if n := len(LJ()); n != 5 {
+		t.Fatalf("LJ() has %d entries, want 5 (Table II)", n)
+	}
+	seen := map[string]bool{}
+	for _, s := range All() {
+		if s.Name == "" || s.Acronym == "" || s.Build == nil {
+			t.Fatalf("malformed spec %+v", s)
+		}
+		if seen[s.Acronym] {
+			t.Fatalf("duplicate acronym %q", s.Acronym)
+		}
+		seen[s.Acronym] = true
+		if s.PaperMB <= 0 || s.PaperU <= 0 || s.PaperV <= 0 || s.PaperE <= 0 {
+			t.Fatalf("%s: missing paper stats", s.Acronym)
+		}
+	}
+}
+
+func TestPaperMBOrderingAscending(t *testing.T) {
+	gen := General()
+	for i := 1; i < len(gen); i++ {
+		if gen[i].PaperMB < gen[i-1].PaperMB {
+			t.Fatalf("Table I order violated: %s (%d) before %s (%d)",
+				gen[i-1].Acronym, gen[i-1].PaperMB, gen[i].Acronym, gen[i].PaperMB)
+		}
+	}
+	lj := LJ()
+	for i := 1; i < len(lj); i++ {
+		if lj[i].PaperMB < lj[i-1].PaperMB {
+			t.Fatal("Table II order violated")
+		}
+	}
+}
+
+func TestBuildsAreValidAndOriented(t *testing.T) {
+	// Building every dataset is cheap; validating CSR structure is O(E).
+	for _, s := range All() {
+		g := s.Build()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Acronym, err)
+		}
+		if g.NV() > g.NU() {
+			t.Fatalf("%s: not oriented, |V|=%d > |U|=%d", s.Acronym, g.NV(), g.NU())
+		}
+		if g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", s.Acronym)
+		}
+	}
+}
+
+func TestBuildsAreDeterministic(t *testing.T) {
+	for _, s := range General()[:4] { // a sample is enough; generators are seeded
+		a, b := s.Build(), s.Build()
+		if a.NumEdges() != b.NumEdges() || a.NU() != b.NU() || a.NV() != b.NV() {
+			t.Fatalf("%s: non-deterministic build", s.Acronym)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if s, ok := ByName("GH"); !ok || s.Name != "Github" {
+		t.Fatalf("ByName(GH) = %+v, %v", s, ok)
+	}
+	if s, ok := ByName("Github"); !ok || s.Acronym != "GH" {
+		t.Fatalf("ByName(Github) = %+v, %v", s, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName accepted unknown dataset")
+	}
+}
+
+func TestLJSamplesAreNestedScale(t *testing.T) {
+	lj := LJ()
+	var prev int64
+	for _, s := range lj {
+		g := s.Build()
+		if g.NumEdges() <= prev {
+			t.Fatalf("%s: edge count %d not increasing", s.Acronym, g.NumEdges())
+		}
+		prev = g.NumEdges()
+	}
+}
+
+// TestSmallDatasetCountsOrdered verifies on the three cheapest datasets
+// that the measured maximal-biclique counts preserve Table I's ascending
+// order — the key property the analogue registry must reproduce.
+func TestSmallDatasetCountsOrdered(t *testing.T) {
+	names := []string{"UL", "UF", "Mti"}
+	var prev int64 = -1
+	for _, n := range names {
+		s, _ := ByName(n)
+		g := order.Apply(s.Build(), order.DegreeAscending, 0)
+		res, err := core.Enumerate(g, core.Options{Variant: core.Ada})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count <= prev {
+			t.Fatalf("%s: count %d not above previous %d", n, res.Count, prev)
+		}
+		prev = res.Count
+	}
+}
+
+func TestLJParentShared(t *testing.T) {
+	a, b := LJParent(), LJParent()
+	if a != b {
+		t.Fatal("LJParent not memoized")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var _ *graph.Bipartite = a
+}

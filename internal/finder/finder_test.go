@@ -1,0 +1,349 @@
+package finder
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// bruteBest computes the optimum of an objective by unpruned enumeration.
+func bruteBest(t *testing.T, g *graph.Bipartite, score func(l, r int) int64) (int64, bool) {
+	t.Helper()
+	var best int64
+	found := false
+	_, err := core.Enumerate(g, core.Options{
+		Variant: core.Ada,
+		OnBiclique: func(L, R []int32) {
+			found = true
+			if s := score(len(L), len(R)); s > best {
+				best = s
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return best, found
+}
+
+func randomGraph(seed int64, nu, nv, m int) *graph.Bipartite {
+	return gen.Uniform(seed, nu, nv, m)
+}
+
+func checkBiclique(t *testing.T, g *graph.Bipartite, b Biclique) {
+	t.Helper()
+	if len(b.L) == 0 || len(b.R) == 0 {
+		t.Fatal("empty side in result")
+	}
+	for _, u := range b.L {
+		for _, v := range b.R {
+			if !g.HasEdge(u, v) {
+				t.Fatalf("result not a biclique: missing (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestMaximumEdgeBicliqueMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g := randomGraph(seed, 40, 15, 150)
+		want, any := bruteBest(t, g, func(l, r int) int64 { return int64(l) * int64(r) })
+		for _, threads := range []int{0, 3} {
+			res, err := MaximumEdgeBiclique(g, Options{Threads: threads})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Found != any {
+				t.Fatalf("seed %d: Found=%v, want %v", seed, res.Found, any)
+			}
+			if !any {
+				continue
+			}
+			if got := res.Best.Edges(); got != want {
+				t.Fatalf("seed %d threads %d: edges %d, want %d", seed, threads, got, want)
+			}
+			checkBiclique(t, g, res.Best)
+		}
+	}
+}
+
+func TestMaximumBalancedBicliqueMatchesBruteForce(t *testing.T) {
+	for seed := int64(30); seed < 50; seed++ {
+		g := randomGraph(seed, 30, 14, 160)
+		want, any := bruteBest(t, g, func(l, r int) int64 { return int64(min(l, r)) })
+		res, err := MaximumBalancedBiclique(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !any {
+			continue
+		}
+		if got := int64(res.Best.Balance()); got != want {
+			t.Fatalf("seed %d: balance %d, want %d", seed, got, want)
+		}
+		checkBiclique(t, g, res.Best)
+	}
+}
+
+func TestMaximumVertexBicliqueMatchesBruteForce(t *testing.T) {
+	for seed := int64(60); seed < 80; seed++ {
+		g := randomGraph(seed, 35, 12, 140)
+		want, any := bruteBest(t, g, func(l, r int) int64 { return int64(l + r) })
+		res, err := MaximumVertexBiclique(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !any {
+			continue
+		}
+		if got := int64(res.Best.Vertices()); got != want {
+			t.Fatalf("seed %d: vertices %d, want %d", seed, got, want)
+		}
+		checkBiclique(t, g, res.Best)
+	}
+}
+
+func TestPersonalizedMaximumBiclique(t *testing.T) {
+	for seed := int64(90); seed < 105; seed++ {
+		g := randomGraph(seed, 30, 10, 120)
+		for v := int32(0); v < int32(g.NV()); v++ {
+			// Oracle: best edge-count among maximal bicliques containing v.
+			var want int64
+			found := false
+			_, err := core.Enumerate(g, core.Options{
+				Variant: core.Ada,
+				OnBiclique: func(L, R []int32) {
+					has := false
+					for _, x := range R {
+						if x == v {
+							has = true
+							break
+						}
+					}
+					if has {
+						found = true
+						if s := int64(len(L)) * int64(len(R)); s > want {
+							want = s
+						}
+					}
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := PersonalizedMaximumBiclique(g, v, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Found != found {
+				t.Fatalf("seed %d v%d: Found=%v, want %v", seed, v, res.Found, found)
+			}
+			if !found {
+				continue
+			}
+			if got := res.Best.Edges(); got != want {
+				t.Fatalf("seed %d v%d: edges %d, want %d", seed, v, got, want)
+			}
+			checkBiclique(t, g, res.Best)
+			hasQuery := false
+			for _, x := range res.Best.R {
+				if x == v {
+					hasQuery = true
+				}
+			}
+			if !hasQuery {
+				t.Fatalf("seed %d v%d: result does not contain the query", seed, v)
+			}
+		}
+	}
+}
+
+func TestPersonalizedEdgeCases(t *testing.T) {
+	g := randomGraph(1, 10, 5, 0) // edgeless
+	res, err := PersonalizedMaximumBiclique(g, 2, Options{})
+	if err != nil || res.Found {
+		t.Fatalf("edgeless: %v %v", res, err)
+	}
+	if _, err := PersonalizedMaximumBiclique(g, 99, Options{}); err == nil {
+		t.Fatal("out-of-range query accepted")
+	}
+}
+
+func TestEnumerateSizeBoundedMatchesFilter(t *testing.T) {
+	for seed := int64(110); seed < 125; seed++ {
+		g := randomGraph(seed, 35, 14, 200)
+		for _, pq := range [][2]int{{1, 1}, {2, 2}, {3, 2}, {5, 3}} {
+			p, q := pq[0], pq[1]
+			// Oracle: unpruned enumeration + filter.
+			var want int64
+			if _, err := core.Enumerate(g, core.Options{
+				Variant: core.Ada,
+				OnBiclique: func(L, R []int32) {
+					if len(L) >= p && len(R) >= q {
+						want++
+					}
+				},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			got, res, err := EnumerateSizeBounded(g, p, q, nil, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("seed %d p=%d q=%d: count %d, want %d", seed, p, q, got, want)
+			}
+			if res.Count < got {
+				t.Fatalf("visited %d < matched %d", res.Count, got)
+			}
+		}
+	}
+}
+
+func TestEnumerateSizeBoundedPrunes(t *testing.T) {
+	// With high bounds, the pruned search must visit far fewer nodes than
+	// the full enumeration.
+	g := gen.Affiliation(7, gen.AffiliationConfig{
+		NU: 400, NV: 150, Communities: 60, MeanU: 8, MeanV: 5, Density: 0.9, NoiseEdges: 300,
+	})
+	full, err := core.Enumerate(g, core.Options{Variant: core.Ada})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := EnumerateSizeBounded(g, 10, 6, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count >= full.Count {
+		t.Fatalf("size bounds did not prune: visited %d of %d", res.Count, full.Count)
+	}
+}
+
+func TestEnumerateSizeBoundedRejectsBadBounds(t *testing.T) {
+	g := randomGraph(1, 5, 5, 10)
+	if _, _, err := EnumerateSizeBounded(g, 0, 1, nil, Options{}); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, _, err := EnumerateSizeBounded(g, 1, -1, nil, Options{}); err == nil {
+		t.Fatal("q=-1 accepted")
+	}
+}
+
+func TestFinderHandlerReceivesBounds(t *testing.T) {
+	g := randomGraph(3, 30, 12, 150)
+	n, _, err := EnumerateSizeBounded(g, 2, 2, func(L, R []int32) {
+		if len(L) < 2 || len(R) < 2 {
+			t.Fatalf("handler got undersized biclique %dx%d", len(L), len(R))
+		}
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no 2x2 bicliques found (degenerate seed)")
+	}
+}
+
+func TestFinderDeadline(t *testing.T) {
+	g := gen.Affiliation(9, gen.AffiliationConfig{
+		NU: 500, NV: 200, Communities: 120, MeanU: 9, MeanV: 5, Density: 0.9,
+	})
+	res, err := MaximumEdgeBiclique(g, Options{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Fatal("expired deadline not reported")
+	}
+}
+
+func TestFinderPruningReducesExploration(t *testing.T) {
+	g := gen.Affiliation(11, gen.AffiliationConfig{
+		NU: 300, NV: 120, Communities: 50, MeanU: 8, MeanV: 5, Density: 0.95,
+	})
+	full, err := core.Enumerate(g, core.Options{Variant: core.Ada})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MaximumEdgeBiclique(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("nothing found")
+	}
+	if res.Explored >= full.Count {
+		t.Fatalf("branch-and-bound explored %d ≥ full %d", res.Explored, full.Count)
+	}
+}
+
+func TestBicliqueAccessors(t *testing.T) {
+	b := Biclique{L: []int32{1, 2, 3}, R: []int32{4, 5}}
+	if b.Edges() != 6 || b.Balance() != 2 || b.Vertices() != 5 {
+		t.Fatalf("accessors wrong: %d %d %d", b.Edges(), b.Balance(), b.Vertices())
+	}
+}
+
+func TestInduceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(5, 25, 18, 120)
+	for trial := 0; trial < 20; trial++ {
+		var uk, vk []int32
+		for u := int32(0); u < int32(g.NU()); u++ {
+			if rng.Intn(2) == 0 {
+				uk = append(uk, u)
+			}
+		}
+		for v := int32(0); v < int32(g.NV()); v++ {
+			if rng.Intn(2) == 0 {
+				vk = append(vk, v)
+			}
+		}
+		ind, err := g.Induce(uk, vk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ind.G.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Every induced edge maps to a parent edge and vice versa.
+		var count int64
+		for _, e := range ind.G.Edges() {
+			if !g.HasEdge(ind.UIDs[e.U], ind.VIDs[e.V]) {
+				t.Fatal("phantom edge in induced graph")
+			}
+			count++
+		}
+		var want int64
+		for _, u := range uk {
+			for _, v := range vk {
+				if g.HasEdge(u, v) {
+					want++
+				}
+			}
+		}
+		if count != want {
+			t.Fatalf("induced edges %d, want %d", count, want)
+		}
+	}
+}
+
+func TestInduceRejectsBadInput(t *testing.T) {
+	g := randomGraph(2, 5, 5, 10)
+	if _, err := g.Induce([]int32{0, 0}, nil); err == nil {
+		t.Fatal("duplicate u accepted")
+	}
+	if _, err := g.Induce([]int32{99}, nil); err == nil {
+		t.Fatal("out-of-range u accepted")
+	}
+	if _, err := g.Induce(nil, []int32{-1}); err == nil {
+		t.Fatal("negative v accepted")
+	}
+	if _, err := g.Induce(nil, []int32{0, 0}); err == nil {
+		t.Fatal("duplicate v accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package finder
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// brutePQ counts (p,q)-bicliques by exhaustive subset enumeration.
+func brutePQ(t *testing.T, g *graph.Bipartite, p, q int) int64 {
+	t.Helper()
+	nu, nv := g.NU(), g.NV()
+	if nu > 20 || nv > 20 {
+		t.Fatal("graph too large for brute force")
+	}
+	var count int64
+	var us, vs []int32
+	var recU func(start int32)
+	var recV func(start int32)
+	complete := func() bool {
+		for _, u := range us {
+			for _, v := range vs {
+				if !g.HasEdge(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	recV = func(start int32) {
+		if len(vs) == q {
+			if complete() {
+				count++
+			}
+			return
+		}
+		for v := start; v < int32(nv); v++ {
+			vs = append(vs, v)
+			recV(v + 1)
+			vs = vs[:len(vs)-1]
+		}
+	}
+	recU = func(start int32) {
+		if len(us) == p {
+			recV(0)
+			return
+		}
+		for u := start; u < int32(nu); u++ {
+			us = append(us, u)
+			recU(u + 1)
+			us = us[:len(us)-1]
+		}
+	}
+	recU(0)
+	return count
+}
+
+func TestCountPQMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		g := gen.Uniform(seed, 14, 10, 60)
+		for _, pq := range [][2]int{{1, 1}, {2, 2}, {3, 2}, {2, 3}, {4, 1}, {1, 4}} {
+			p, q := pq[0], pq[1]
+			want := brutePQ(t, g, p, q)
+			got, tle, err := CountPQBicliques(g, p, q, time.Time{})
+			if err != nil || tle {
+				t.Fatalf("seed %d (%d,%d): err=%v tle=%v", seed, p, q, err, tle)
+			}
+			if got != want {
+				t.Fatalf("seed %d (%d,%d): count %d, want %d", seed, p, q, got, want)
+			}
+		}
+	}
+}
+
+func TestCountPQKnownValues(t *testing.T) {
+	// Complete bipartite K(4,3): number of (p,q)-bicliques = C(4,p)*C(3,q).
+	rows := make([][]int32, 3)
+	for v := range rows {
+		rows[v] = []int32{0, 1, 2, 3}
+	}
+	g := graph.MustFromAdjacency(4, rows)
+	cases := map[[2]int]int64{
+		{1, 1}: 12, {2, 2}: 18, {4, 3}: 1, {2, 1}: 18, {3, 3}: 4,
+	}
+	for pq, want := range cases {
+		got, _, err := CountPQBicliques(g, pq[0], pq[1], time.Time{})
+		if err != nil || got != want {
+			t.Fatalf("K(4,3) (%d,%d): got %d, want %d (%v)", pq[0], pq[1], got, want, err)
+		}
+	}
+	// (1,1)-bicliques are exactly the edges of any graph.
+	g2 := gen.Uniform(3, 50, 30, 400)
+	got, _, err := CountPQBicliques(g2, 1, 1, time.Time{})
+	if err != nil || got != g2.NumEdges() {
+		t.Fatalf("(1,1) count %d != |E| %d", got, g2.NumEdges())
+	}
+}
+
+func TestCountPQValidationAndDeadline(t *testing.T) {
+	g := gen.Uniform(1, 10, 10, 40)
+	if _, _, err := CountPQBicliques(g, 0, 1, time.Time{}); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, _, err := CountPQBicliques(g, 1, -2, time.Time{}); err == nil {
+		t.Fatal("q=-2 accepted")
+	}
+	big := gen.Affiliation(5, gen.AffiliationConfig{
+		NU: 2000, NV: 900, Communities: 300, MeanU: 12, MeanV: 6, Density: 0.9,
+	})
+	_, tle, err := CountPQBicliques(big, 2, 3, time.Now().Add(-time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tle {
+		t.Fatal("expired deadline not reported")
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := map[[2]int]int64{
+		{0, 0}: 1, {5, 0}: 1, {5, 5}: 1, {5, 2}: 10, {10, 3}: 120,
+		{4, 5}: 0, {3, -1}: 0, {64, 32}: 1832624140942590534,
+	}
+	for nk, want := range cases {
+		if got := binomial(nk[0], nk[1]); got != want {
+			t.Fatalf("C(%d,%d) = %d, want %d", nk[0], nk[1], got, want)
+		}
+	}
+	if binomial(200, 100) != math.MaxInt64 {
+		t.Fatal("overflow did not saturate")
+	}
+}

@@ -1,0 +1,97 @@
+package finder
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// TopKEdgeBicliques returns the k maximal bicliques with the largest
+// |L|·|R|, descending (ties in arbitrary order), using the AdaMBE engine
+// with a branch-and-bound cutoff at the current k-th best score — the
+// "top-k diversified biclique search" regime of Lyu et al. (VLDB J. '22)
+// restricted to plain top-k.
+func TopKEdgeBicliques(g *graph.Bipartite, k int, opts Options) ([]Biclique, core.Result, error) {
+	if k < 1 {
+		return nil, core.Result{}, fmt.Errorf("finder: k must be ≥ 1 (got %d)", k)
+	}
+	var (
+		mu sync.Mutex
+		h  scoreHeap
+	)
+	// kthBest is safe to read racily for pruning: it only grows, and a
+	// stale (smaller) value merely prunes less.
+	kthBest := func() int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(h) < k {
+			return 0
+		}
+		return h[0].score
+	}
+	maxR := int64(maxDegU(g))
+	res, err := core.Enumerate(g, core.Options{
+		Variant:  core.Ada,
+		Tau:      opts.Tau,
+		Threads:  opts.Threads,
+		Deadline: opts.Deadline,
+		SkipChild: func(lenL int) bool {
+			return int64(lenL)*maxR <= kthBest()
+		},
+		SkipSubtree: func(lenL, lenR, lenC int) bool {
+			return int64(lenL)*int64(lenR+lenC) <= kthBest()
+		},
+		OnBiclique: func(L, R []int32) {
+			s := int64(len(L)) * int64(len(R))
+			mu.Lock()
+			defer mu.Unlock()
+			if len(h) < k {
+				heap.Push(&h, scored{score: s, b: Biclique{
+					L: append([]int32(nil), L...),
+					R: append([]int32(nil), R...),
+				}})
+				return
+			}
+			if s > h[0].score {
+				h[0] = scored{score: s, b: Biclique{
+					L: append([]int32(nil), L...),
+					R: append([]int32(nil), R...),
+				}}
+				heap.Fix(&h, 0)
+			}
+		},
+	})
+	if err != nil {
+		return nil, core.Result{}, err
+	}
+	out := make([]Biclique, len(h))
+	for i, s := range h {
+		out[i] = s.b
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Edges() > out[j].Edges() })
+	return out, res, nil
+}
+
+type scored struct {
+	score int64
+	b     Biclique
+}
+
+// scoreHeap is a min-heap on score (root = k-th best).
+type scoreHeap []scored
+
+func (h scoreHeap) Len() int            { return len(h) }
+func (h scoreHeap) Less(i, j int) bool  { return h[i].score < h[j].score }
+func (h scoreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scoreHeap) Push(x interface{}) { *h = append(*h, x.(scored)) }
+func (h *scoreHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,107 @@
+package finder
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestTopKMatchesFullEnumeration(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		g := gen.Uniform(seed, 40, 16, 220)
+		// Oracle: all maximal biclique scores, descending.
+		var scores []int64
+		if _, err := core.Enumerate(g, core.Options{
+			Variant: core.Ada,
+			OnBiclique: func(L, R []int32) {
+				scores = append(scores, int64(len(L))*int64(len(R)))
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(scores, func(i, j int) bool { return scores[i] > scores[j] })
+		for _, k := range []int{1, 3, 10, len(scores) + 5} {
+			got, _, err := TopKEdgeBicliques(g, k, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantLen := min(k, len(scores))
+			if len(got) != wantLen {
+				t.Fatalf("seed %d k=%d: returned %d, want %d", seed, k, len(got), wantLen)
+			}
+			for i, b := range got {
+				if b.Edges() != scores[i] {
+					t.Fatalf("seed %d k=%d: rank %d score %d, want %d",
+						seed, k, i, b.Edges(), scores[i])
+				}
+				// Returned bicliques must be genuine.
+				for _, u := range b.L {
+					for _, v := range b.R {
+						if !g.HasEdge(u, v) {
+							t.Fatalf("seed %d: top-k result not a biclique", seed)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTopKParallelAgrees(t *testing.T) {
+	g := gen.Affiliation(4, gen.AffiliationConfig{
+		NU: 400, NV: 160, Communities: 60, MeanU: 8, MeanV: 5, Density: 0.9, NoiseEdges: 400,
+	})
+	serial, _, err := TopKEdgeBicliques(g, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := TopKEdgeBicliques(g, 5, Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("lengths differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i].Edges() != par[i].Edges() {
+			t.Fatalf("rank %d: serial %d, parallel %d", i, serial[i].Edges(), par[i].Edges())
+		}
+	}
+}
+
+func TestTopKRejectsBadK(t *testing.T) {
+	g := gen.Uniform(1, 5, 5, 10)
+	if _, _, err := TopKEdgeBicliques(g, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestTopKEmptyGraph(t *testing.T) {
+	g := gen.Uniform(1, 5, 5, 0)
+	got, _, err := TopKEdgeBicliques(g, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("edgeless graph returned %d bicliques", len(got))
+	}
+}
+
+func TestTopKPrunes(t *testing.T) {
+	g := gen.Affiliation(8, gen.AffiliationConfig{
+		NU: 500, NV: 200, Communities: 90, MeanU: 9, MeanV: 5, Density: 0.9,
+	})
+	full, err := core.Enumerate(g, core.Options{Variant: core.Ada})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := TopKEdgeBicliques(g, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count >= full.Count {
+		t.Fatalf("top-1 search explored %d ≥ full %d", res.Count, full.Count)
+	}
+}

@@ -1,0 +1,159 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestUniformDeterministicAndValid(t *testing.T) {
+	a := Uniform(42, 100, 50, 400)
+	b := Uniform(42, 100, 50, 400)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NU() != 100 || a.NV() != 50 {
+		t.Fatalf("sides: %d,%d", a.NU(), a.NV())
+	}
+	if a.NumEdges() == 0 || a.NumEdges() > 400 {
+		t.Fatalf("edges: %d", a.NumEdges())
+	}
+	c := Uniform(43, 100, 50, 400)
+	if c.NumEdges() == a.NumEdges() && sameEdges(a, c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func sameEdges(a, b *graph.Bipartite) bool {
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		return false
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPowerLawIsSkewed(t *testing.T) {
+	g := PowerLaw(7, 2000, 500, 10000, 1.5, 1.5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := graph.Summarize(g)
+	// A Zipf draw must concentrate: the max V degree should far exceed the
+	// average degree.
+	if float64(s.MaxDegV) < 5*s.AvgDegV {
+		t.Fatalf("power law not skewed: max=%d avg=%.1f", s.MaxDegV, s.AvgDegV)
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	a := PowerLaw(9, 300, 100, 2000, 2.0, 1.8)
+	b := PowerLaw(9, 300, 100, 2000, 2.0, 1.8)
+	if !sameEdges(a, b) {
+		t.Fatal("same seed produced different power-law graphs")
+	}
+}
+
+func TestAffiliationPlantsDenseBlocks(t *testing.T) {
+	cfg := AffiliationConfig{
+		NU: 500, NV: 200, Communities: 40,
+		MeanU: 8, MeanV: 5, Density: 1.0, NoiseEdges: 100,
+	}
+	g := Affiliation(3, cfg)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < 500 {
+		t.Fatalf("suspiciously few edges: %d", g.NumEdges())
+	}
+	// Determinism.
+	if !sameEdges(g, Affiliation(3, cfg)) {
+		t.Fatal("affiliation generator not deterministic")
+	}
+}
+
+func TestAffiliationDensityZeroish(t *testing.T) {
+	cfg := AffiliationConfig{NU: 50, NV: 20, Communities: 10, MeanU: 3, MeanV: 3, Density: 0.0001}
+	g := Affiliation(5, cfg)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Nearly all community edges suppressed: only sparse output expected.
+	if g.NumEdges() > 50 {
+		t.Fatalf("density ~0 produced %d edges", g.NumEdges())
+	}
+}
+
+func TestSampleEdgesFraction(t *testing.T) {
+	parent := Uniform(1, 400, 200, 20000)
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		s := SampleEdges(parent, frac, 77)
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		got := float64(s.NumEdges()) / float64(parent.NumEdges())
+		if math.Abs(got-frac) > 0.05 {
+			t.Fatalf("frac %.2f: realized %.3f", frac, got)
+		}
+		if s.NU() != parent.NU() || s.NV() != parent.NV() {
+			t.Fatal("sampling changed vertex sets")
+		}
+	}
+}
+
+func TestSampleEdgesExtremes(t *testing.T) {
+	parent := Uniform(2, 100, 50, 2000)
+	if s := SampleEdges(parent, 0, 1); s.NumEdges() != 0 {
+		t.Fatalf("frac 0 kept %d edges", s.NumEdges())
+	}
+	if s := SampleEdges(parent, 1.1, 1); s.NumEdges() != parent.NumEdges() {
+		t.Fatalf("frac ≥ 1 dropped edges: %d of %d", s.NumEdges(), parent.NumEdges())
+	}
+}
+
+// Property: every sampled edge exists in the parent.
+func TestQuickSampleIsSubset(t *testing.T) {
+	parent := Uniform(3, 80, 40, 1500)
+	f := func(seed int64, fracRaw uint8) bool {
+		frac := float64(fracRaw) / 255
+		s := SampleEdges(parent, frac, seed)
+		for _, e := range s.Edges() {
+			if !parent.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: generators never produce out-of-range endpoints or invalid CSR.
+func TestQuickGeneratorsValid(t *testing.T) {
+	f := func(seed int64, nuRaw, nvRaw, mRaw uint8) bool {
+		nu, nv, m := 1+int(nuRaw), 1+int(nvRaw), int(mRaw)*4
+		if Uniform(seed, nu, nv, m).Validate() != nil {
+			return false
+		}
+		if nu > 1 && nv > 1 {
+			if PowerLaw(seed, nu, nv, m, 1.2, 1.4).Validate() != nil {
+				return false
+			}
+		}
+		cfg := AffiliationConfig{NU: nu, NV: nv, Communities: int(mRaw) % 8, MeanU: 2, MeanV: 2, Density: 0.8}
+		return Affiliation(seed, cfg).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FromEdges builds a Bipartite graph from an edge list. Duplicate edges are
+// collapsed; nu and nv fix the side sizes (vertices may be isolated). It
+// returns an error on out-of-range endpoints.
+func FromEdges(nu, nv int, edges []Edge) (*Bipartite, error) {
+	if nu < 0 || nv < 0 {
+		return nil, fmt.Errorf("graph: negative side size (nu=%d, nv=%d)", nu, nv)
+	}
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= nu {
+			return nil, fmt.Errorf("graph: edge (%d,%d): u out of range [0,%d)", e.U, e.V, nu)
+		}
+		if e.V < 0 || int(e.V) >= nv {
+			return nil, fmt.Errorf("graph: edge (%d,%d): v out of range [0,%d)", e.U, e.V, nv)
+		}
+	}
+
+	es := make([]Edge, len(edges))
+	copy(es, edges)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].V != es[j].V {
+			return es[i].V < es[j].V
+		}
+		return es[i].U < es[j].U
+	})
+	// Deduplicate in place.
+	dedup := es[:0]
+	for i, e := range es {
+		if i == 0 || e != es[i-1] {
+			dedup = append(dedup, e)
+		}
+	}
+	es = dedup
+
+	g := &Bipartite{
+		nu:   nu,
+		nv:   nv,
+		vOff: make([]int64, nv+1),
+		vAdj: make([]int32, len(es)),
+		uOff: make([]int64, nu+1),
+		uAdj: make([]int32, len(es)),
+	}
+	for _, e := range es {
+		g.vOff[e.V+1]++
+		g.uOff[e.U+1]++
+	}
+	for i := 0; i < nv; i++ {
+		g.vOff[i+1] += g.vOff[i]
+	}
+	for i := 0; i < nu; i++ {
+		g.uOff[i+1] += g.uOff[i]
+	}
+	vCur := make([]int64, nv)
+	uCur := make([]int64, nu)
+	for _, e := range es {
+		g.vAdj[g.vOff[e.V]+vCur[e.V]] = e.U
+		vCur[e.V]++
+		g.uAdj[g.uOff[e.U]+uCur[e.U]] = e.V
+		uCur[e.U]++
+	}
+	// vAdj rows are sorted by construction (edges sorted by (V,U)); uAdj rows
+	// are sorted because for a fixed u, edges appear in increasing V order.
+	return g, nil
+}
+
+// FromAdjacency builds a graph from per-v neighbor lists (rows may be
+// unsorted and contain duplicates). nu fixes |U|.
+func FromAdjacency(nu int, rows [][]int32) (*Bipartite, error) {
+	var edges []Edge
+	for v, row := range rows {
+		for _, u := range row {
+			edges = append(edges, Edge{U: u, V: int32(v)})
+		}
+	}
+	return FromEdges(nu, len(rows), edges)
+}
+
+// MustFromAdjacency is FromAdjacency that panics on error; for tests and
+// examples with literal graphs.
+func MustFromAdjacency(nu int, rows [][]int32) *Bipartite {
+	g, err := FromAdjacency(nu, rows)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// PaperExample returns the 9×4 bipartite graph G0 from Figure 1 of the
+// paper (u0..u8 × v0..v3). Its 9 maximal bicliques anchor several unit
+// tests (including ({u0,u4,u5,u6},{v0,v2,v3}) from Figure 1).
+func PaperExample() *Bipartite {
+	// Edges transcribed from Figure 1/2: N(v0)={u0..u2,u4..u7},
+	// N(v1)={u0,u1,u2}, N(v2)={u0,u2,u3,u4,u5,u6}, N(v3)={u0,u3,u4,u5,u6,u8}.
+	return MustFromAdjacency(9, [][]int32{
+		{0, 1, 2, 4, 5, 6, 7},
+		{0, 1, 2},
+		{0, 2, 3, 4, 5, 6},
+		{0, 3, 4, 5, 6, 8},
+	})
+}

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadKonect checks that arbitrary input never panics the loader and
+// that every successfully parsed graph satisfies the structural invariants
+// and round-trips through both serializers.
+func FuzzReadKonect(f *testing.F) {
+	f.Add("1 2\n3 4\n")
+	f.Add("% comment\n1 2 5 99999\n\n1 2\n")
+	f.Add("a b\nb a\n")
+	f.Add("x")
+	f.Add(strings.Repeat("7 9\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadKonect(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph invalid: %v", err)
+		}
+		if g.NV() > g.NU() {
+			t.Fatal("loader did not orient")
+		}
+		var txt bytes.Buffer
+		if err := g.WriteEdgeList(&txt); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadKonect(&txt)
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("edge-list round trip: %d != %d edges", g2.NumEdges(), g.NumEdges())
+		}
+		var bin bytes.Buffer
+		if err := g.WriteBinary(&bin); err != nil {
+			t.Fatal(err)
+		}
+		g3, err := ReadBinary(&bin)
+		if err != nil {
+			t.Fatalf("binary round trip failed: %v", err)
+		}
+		if g3.NumEdges() != g.NumEdges() || g3.NU() != g.NU() || g3.NV() != g.NV() {
+			t.Fatal("binary round trip changed the graph")
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary loader against corrupt/hostile input.
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	if err := PaperExample().WriteBinary(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("MBEG0001"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("binary loader accepted invalid graph: %v", err)
+		}
+	})
+}

@@ -1,0 +1,351 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesBasic(t *testing.T) {
+	g, err := FromEdges(3, 2, []Edge{{0, 0}, {1, 0}, {2, 1}, {0, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NU() != 3 || g.NV() != 2 {
+		t.Fatalf("sides = %d,%d", g.NU(), g.NV())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4 (dup collapsed)", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantV0 := []int32{0, 1}
+	if got := g.NeighborsOfV(0); len(got) != 2 || got[0] != wantV0[0] || got[1] != wantV0[1] {
+		t.Fatalf("N(v0) = %v", got)
+	}
+	if got := g.NeighborsOfU(0); len(got) != 2 {
+		t.Fatalf("N(u0) = %v", got)
+	}
+	if !g.HasEdge(2, 1) || g.HasEdge(2, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestFromEdgesRejectsOutOfRange(t *testing.T) {
+	if _, err := FromEdges(2, 2, []Edge{{2, 0}}); err == nil {
+		t.Fatal("accepted u out of range")
+	}
+	if _, err := FromEdges(2, 2, []Edge{{0, -1}}); err == nil {
+		t.Fatal("accepted negative v")
+	}
+	if _, err := FromEdges(-1, 2, nil); err == nil {
+		t.Fatal("accepted negative side size")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := FromEdges(0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 || g.NU() != 0 || g.NV() != 0 {
+		t.Fatal("empty graph not empty")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	g, err := FromEdges(5, 4, []Edge{{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DegV(3) != 0 || g.DegU(4) != 0 {
+		t.Fatal("isolated vertex has degree")
+	}
+	s := Summarize(g)
+	if s.Isolated != 4+3 {
+		t.Fatalf("Isolated = %d, want 7", s.Isolated)
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	g := PaperExample()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NU() != 9 || g.NV() != 4 || g.NumEdges() != 7+3+6+6 {
+		t.Fatalf("paper graph stats wrong: %v", Summarize(g))
+	}
+	// The Figure 1 biclique ({u0,u4,u5,u6},{v0,v2,v3}) must be complete.
+	for _, u := range []int32{0, 4, 5, 6} {
+		for _, v := range []int32{0, 2, 3} {
+			if !g.HasEdge(u, v) {
+				t.Fatalf("missing edge (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestSwappedAndOrient(t *testing.T) {
+	g := PaperExample() // |U|=9 > |V|=4
+	sw := g.Swapped()
+	if sw.NU() != 4 || sw.NV() != 9 {
+		t.Fatalf("Swapped sides = %d,%d", sw.NU(), sw.NV())
+	}
+	if err := sw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Edge mirroring.
+	if !sw.HasEdge(2, 3) { // (v2, u3) since sides swapped
+		t.Fatal("swap lost edge")
+	}
+	if got := g.Orient(); got != g {
+		t.Fatal("Orient copied an already-oriented graph")
+	}
+	if got := sw.Orient(); got.NV() != 4 {
+		t.Fatal("Orient failed to swap")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := PaperExample()
+	es := g.Edges()
+	g2, err := FromEdges(g.NU(), g.NV(), es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, g2) {
+		t.Fatal("Edges round trip changed the graph")
+	}
+}
+
+func sameGraph(a, b *Bipartite) bool {
+	if a.NU() != b.NU() || a.NV() != b.NV() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := int32(0); v < int32(a.NV()); v++ {
+		ra, rb := a.NeighborsOfV(v), b.NeighborsOfV(v)
+		if len(ra) != len(rb) {
+			return false
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestPermuteV(t *testing.T) {
+	g := PaperExample()
+	perm := []int32{3, 1, 0, 2} // new v0 = old v3, etc.
+	ng, err := g.PermuteV(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ng.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for newV := int32(0); newV < 4; newV++ {
+		old := perm[newV]
+		ra, rb := g.NeighborsOfV(old), ng.NeighborsOfV(newV)
+		if len(ra) != len(rb) {
+			t.Fatalf("row %d length changed", newV)
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("row %d contents changed", newV)
+			}
+		}
+	}
+	// U-side must mirror the relabeled V ids.
+	for u := int32(0); u < int32(g.NU()); u++ {
+		for _, v := range ng.NeighborsOfU(u) {
+			if !ng.HasEdge(u, v) {
+				t.Fatalf("U-side edge (%d,%d) not mirrored", u, v)
+			}
+		}
+	}
+}
+
+func TestPermuteVRejectsBadPerms(t *testing.T) {
+	g := PaperExample()
+	if _, err := g.PermuteV([]int32{0, 1}); err == nil {
+		t.Fatal("accepted short permutation")
+	}
+	if _, err := g.PermuteV([]int32{0, 1, 2, 9}); err == nil {
+		t.Fatal("accepted out-of-range permutation")
+	}
+	if _, err := g.PermuteV([]int32{0, 1, 2, 2}); err == nil {
+		t.Fatal("accepted repeated permutation entry")
+	}
+}
+
+func TestReadKonect(t *testing.T) {
+	in := `% bip comment header
+% another comment
+10 20
+11 20 1 1234567
+10 21
+12 22
+
+10 20
+`
+	g, err := ReadKonect(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 distinct u {10,11,12}, 3 distinct v {20,21,22}; oriented so |V|<=|U|.
+	if g.NU() != 3 || g.NV() != 3 || g.NumEdges() != 4 {
+		t.Fatalf("konect parse: %v", Summarize(g))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadKonectErrors(t *testing.T) {
+	if _, err := ReadKonect(strings.NewReader("justonefield\n")); err == nil {
+		t.Fatal("accepted 1-field line")
+	}
+}
+
+func TestReadKonectOrients(t *testing.T) {
+	// 1 u, 3 v: after Orient the smaller side (1 vertex) must be V.
+	in := "a x\na y\na z\n"
+	g, err := ReadKonect(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NV() != 1 || g.NU() != 3 {
+		t.Fatalf("orientation wrong: |U|=%d |V|=%d", g.NU(), g.NV())
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := PaperExample()
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadKonect(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ReadKonect orients; PaperExample has |V| < |U| so orientation holds.
+	if g2.NU() != g.NU() || g2.NV() != g.NV() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip stats changed: %v vs %v", Summarize(g2), Summarize(g))
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		nu, nv := 1+rng.Intn(50), 1+rng.Intn(30)
+		var edges []Edge
+		for i := 0; i < rng.Intn(200); i++ {
+			edges = append(edges, Edge{U: int32(rng.Intn(nu)), V: int32(rng.Intn(nv))})
+		}
+		g, err := FromEdges(nu, nv, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameGraph(g, g2) {
+			t.Fatalf("trial %d: binary round trip changed the graph", trial)
+		}
+		if err := g2.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestBinaryRejectsCorrupt(t *testing.T) {
+	g := PaperExample()
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(raw[:4])); err == nil {
+		t.Fatal("accepted truncated header")
+	}
+	bad := append([]byte("XXXX9999"), raw[8:]...)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	if _, err := ReadBinary(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Fatal("accepted truncated body")
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	g := PaperExample()
+	path := t.TempDir() + "/g.bin"
+	if err := g.WriteBinaryFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, g2) {
+		t.Fatal("file round trip changed the graph")
+	}
+	if _, err := ReadBinaryFile(path + ".missing"); err == nil {
+		t.Fatal("read of missing file succeeded")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := PaperExample()
+	s := Summarize(g)
+	if s.MaxDegV != 7 { // deg(v0)
+		t.Fatalf("MaxDegV = %d, want 7", s.MaxDegV)
+	}
+	if s.MaxDegU != 4 { // u0 connects to all four v
+		t.Fatalf("MaxDegU = %d, want 4", s.MaxDegU)
+	}
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+// Property: FromEdges is permutation-invariant and idempotent over dupes.
+func TestQuickFromEdgesCanonical(t *testing.T) {
+	f := func(raw []uint16, seed int64) bool {
+		const nu, nv = 40, 25
+		edges := make([]Edge, 0, len(raw))
+		for _, r := range raw {
+			edges = append(edges, Edge{U: int32(r % nu), V: int32((r >> 8) % nv)})
+		}
+		g1, err := FromEdges(nu, nv, edges)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		edges = append(edges, edges...) // duplicate everything
+		g2, err := FromEdges(nu, nv, edges)
+		if err != nil {
+			return false
+		}
+		return sameGraph(g1, g2) && g1.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

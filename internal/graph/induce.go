@@ -1,0 +1,67 @@
+package graph
+
+import "fmt"
+
+// Induced is a vertex-induced subgraph together with the id maps back to
+// the parent graph: new u-id i corresponds to parent id UIDs[i], and
+// likewise for VIDs.
+type Induced struct {
+	G    *Bipartite
+	UIDs []int32
+	VIDs []int32
+}
+
+// Induce returns the subgraph induced by the given U- and V-side vertex
+// sets (ids need not be sorted; duplicates are rejected). Edges of g with
+// both endpoints kept are retained, with endpoints densely relabeled.
+func (g *Bipartite) Induce(uKeep, vKeep []int32) (*Induced, error) {
+	uMap := make(map[int32]int32, len(uKeep))
+	for i, u := range uKeep {
+		if u < 0 || int(u) >= g.nu {
+			return nil, fmt.Errorf("graph: induce: u id %d out of range", u)
+		}
+		if _, dup := uMap[u]; dup {
+			return nil, fmt.Errorf("graph: induce: duplicate u id %d", u)
+		}
+		uMap[u] = int32(i)
+	}
+	vMap := make(map[int32]int32, len(vKeep))
+	for i, v := range vKeep {
+		if v < 0 || int(v) >= g.nv {
+			return nil, fmt.Errorf("graph: induce: v id %d out of range", v)
+		}
+		if _, dup := vMap[v]; dup {
+			return nil, fmt.Errorf("graph: induce: duplicate v id %d", v)
+		}
+		vMap[v] = int32(i)
+	}
+
+	var edges []Edge
+	// Iterate the smaller kept side's adjacency.
+	if len(vKeep) <= len(uKeep) {
+		for _, v := range vKeep {
+			for _, u := range g.NeighborsOfV(v) {
+				if nu, ok := uMap[u]; ok {
+					edges = append(edges, Edge{U: nu, V: vMap[v]})
+				}
+			}
+		}
+	} else {
+		for _, u := range uKeep {
+			for _, v := range g.NeighborsOfU(u) {
+				if nv, ok := vMap[v]; ok {
+					edges = append(edges, Edge{U: uMap[u], V: nv})
+				}
+			}
+		}
+	}
+	sub, err := FromEdges(len(uKeep), len(vKeep), edges)
+	if err != nil {
+		return nil, err
+	}
+	return &Induced{
+		G:    sub,
+		UIDs: append([]int32(nil), uKeep...),
+		VIDs: append([]int32(nil), vKeep...),
+	}, nil
+}

@@ -1,0 +1,52 @@
+package graph
+
+import "fmt"
+
+// Stats summarizes a bipartite graph in the shape of the paper's Table I /
+// Table II rows (maximal biclique counts are computed by the enumeration
+// engines, not here).
+type Stats struct {
+	NU, NV   int
+	Edges    int64
+	MaxDegU  int // Δ(U)
+	MaxDegV  int // Δ(V)
+	AvgDegU  float64
+	AvgDegV  float64
+	Isolated int // vertices (either side) with degree 0
+}
+
+// Summarize computes Stats for g.
+func Summarize(g *Bipartite) Stats {
+	s := Stats{NU: g.NU(), NV: g.NV(), Edges: g.NumEdges()}
+	for u := int32(0); u < int32(g.NU()); u++ {
+		d := g.DegU(u)
+		if d > s.MaxDegU {
+			s.MaxDegU = d
+		}
+		if d == 0 {
+			s.Isolated++
+		}
+	}
+	for v := int32(0); v < int32(g.NV()); v++ {
+		d := g.DegV(v)
+		if d > s.MaxDegV {
+			s.MaxDegV = d
+		}
+		if d == 0 {
+			s.Isolated++
+		}
+	}
+	if s.NU > 0 {
+		s.AvgDegU = float64(s.Edges) / float64(s.NU)
+	}
+	if s.NV > 0 {
+		s.AvgDegV = float64(s.Edges) / float64(s.NV)
+	}
+	return s
+}
+
+// String renders the stats as a single Table-I-style row fragment.
+func (s Stats) String() string {
+	return fmt.Sprintf("|U|=%d |V|=%d |E|=%d Δ(U)=%d Δ(V)=%d",
+		s.NU, s.NV, s.Edges, s.MaxDegU, s.MaxDegV)
+}

@@ -1,0 +1,395 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"repro/internal/svgplot"
+)
+
+// RenderPlots reads the CSV series a previous experiment run wrote into
+// dir and renders one SVG per figure (the original artifact's fig/
+// directory). It returns the paths written; CSVs that are absent are
+// skipped silently, malformed ones abort.
+func RenderPlots(dir string) ([]string, error) {
+	var written []string
+	render := func(name string, fn func(rows [][]string, w *os.File) error) error {
+		rows, err := readCSV(filepath.Join(dir, name+".csv"))
+		if os.IsNotExist(err) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dir, name+".svg")
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := fn(rows, f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		written = append(written, out)
+		return nil
+	}
+	renderers := []struct {
+		name string
+		fn   func(rows [][]string, w *os.File) error
+	}{
+		{"fig4", plotFig4},
+		{"fig5", plotFig5},
+		{"fig8", plotFig8},
+		{"fig9", plotFig9},
+		{"fig10", plotFig10},
+		{"fig11", plotFig11},
+		{"fig12", plotFig12},
+		{"fig13", plotFig13},
+		{"fig14", plotFig14},
+	}
+	for _, r := range renderers {
+		if err := render(r.name, r.fn); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+func readCSV(path string) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rows) < 1 {
+		return nil, fmt.Errorf("%s: empty CSV", path)
+	}
+	return rows, nil
+}
+
+// col returns a column index by header name.
+func col(rows [][]string, name string) (int, error) {
+	for i, h := range rows[0] {
+		if h == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("column %q not found in %v", name, rows[0])
+}
+
+func f64(s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// pivot organizes rows into series keyed by seriesCol over the ordered
+// distinct values of catCol, with valueCol as Y (TLE rows become 0 so the
+// charts draw the missing-value marker).
+func pivot(rows [][]string, catCol, seriesCol, valueCol string) (cats []string, series []svgplot.Series, err error) {
+	ci, err := col(rows, catCol)
+	if err != nil {
+		return nil, nil, err
+	}
+	si, err := col(rows, seriesCol)
+	if err != nil {
+		return nil, nil, err
+	}
+	vi, err := col(rows, valueCol)
+	if err != nil {
+		return nil, nil, err
+	}
+	tleIdx := -1
+	if ti, err := col(rows, "timed_out"); err == nil {
+		tleIdx = ti
+	}
+	catIdx := map[string]int{}
+	serIdx := map[string]int{}
+	for _, r := range rows[1:] {
+		if _, ok := catIdx[r[ci]]; !ok {
+			catIdx[r[ci]] = len(cats)
+			cats = append(cats, r[ci])
+		}
+		if _, ok := serIdx[r[si]]; !ok {
+			serIdx[r[si]] = len(series)
+			series = append(series, svgplot.Series{Name: r[si]})
+		}
+	}
+	for i := range series {
+		series[i].Values = make([]float64, len(cats))
+	}
+	for _, r := range rows[1:] {
+		v := f64(r[vi])
+		if tleIdx >= 0 && r[tleIdx] == "true" {
+			v = 0 // draw as missing/TLE
+		}
+		series[serIdx[r[si]]].Values[catIdx[r[ci]]] = v
+	}
+	return cats, series, nil
+}
+
+func plotFig4(rows [][]string, w *os.File) error {
+	li, err := col(rows, "log2_L_bucket")
+	if err != nil {
+		return err
+	}
+	ci, err := col(rows, "log2_C_bucket")
+	if err != nil {
+		return err
+	}
+	vi, err := col(rows, "share_pct")
+	if err != nil {
+		return err
+	}
+	const n = 8
+	cells := make([][]float64, n)
+	for i := range cells {
+		cells[i] = make([]float64, n)
+	}
+	for _, r := range rows[1:] {
+		i, j := int(f64(r[li])), int(f64(r[ci]))
+		if i < n && j < n {
+			cells[i][j] = f64(r[vi])
+		}
+	}
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = strconv.Itoa(1 << i)
+	}
+	return svgplot.Heatmap(w, "Fig. 4 — CG size distribution (% of nodes)",
+		"|C| bucket (≥)", "|L| bucket (≥)", labels, labels, cells)
+}
+
+func plotFig5(rows [][]string, w *os.File) error {
+	cats, _, err := pivot(rows, "dataset", "dataset", "inside_pct")
+	if err != nil {
+		return err
+	}
+	ii, err := col(rows, "inside_pct")
+	if err != nil {
+		return err
+	}
+	oi, err := col(rows, "outside_pct")
+	if err != nil {
+		return err
+	}
+	inside := svgplot.Series{Name: "inside CG"}
+	outside := svgplot.Series{Name: "outside CG"}
+	for _, r := range rows[1:] {
+		inside.Values = append(inside.Values, f64(r[ii]))
+		outside.Values = append(outside.Values, f64(r[oi]))
+	}
+	return svgplot.StackedPercent(w, "Fig. 5 — vertex accesses inside/outside CGs (Baseline)",
+		cats, []svgplot.Series{inside, outside})
+}
+
+func plotFig8(rows [][]string, w *os.File) error {
+	cats, series, err := pivot(rows, "dataset", "algorithm", "seconds")
+	if err != nil {
+		return err
+	}
+	return svgplot.GroupedBars(w, "Fig. 8a — runtime (× = TLE)", "seconds", cats, series, true)
+}
+
+func plotFig9(rows [][]string, w *os.File) error {
+	cats, series, err := pivot(rows, "dataset", "algorithm", "count")
+	if err != nil {
+		return err
+	}
+	return svgplot.GroupedBars(w, "Fig. 9 — maximal bicliques enumerated within TLE",
+		"bicliques", cats, series, true)
+}
+
+func plotFig10(rows [][]string, w *os.File) error {
+	cats, series, err := pivot(rows, "dataset", "variant", "seconds")
+	if err != nil {
+		return err
+	}
+	return svgplot.GroupedBars(w, "Fig. 10a — breakdown: runtime", "seconds", cats, series, true)
+}
+
+func plotFig11(rows [][]string, w *os.File) error {
+	di, err := col(rows, "dataset")
+	if err != nil {
+		return err
+	}
+	ti, err := col(rows, "tau")
+	if err != nil {
+		return err
+	}
+	pi, err := col(rows, "padded_seconds")
+	if err != nil {
+		return err
+	}
+	ai, err := col(rows, "adaptive_seconds")
+	if err != nil {
+		return err
+	}
+	taus := map[float64]bool{}
+	type key struct{ ds, mode string }
+	vals := map[key]map[float64]float64{}
+	for _, r := range rows[1:] {
+		tau := f64(r[ti])
+		taus[tau] = true
+		for _, m := range []struct {
+			mode string
+			v    float64
+		}{{"padded", f64(r[pi])}, {"adaptive", f64(r[ai])}} {
+			k := key{r[di], m.mode}
+			if vals[k] == nil {
+				vals[k] = map[float64]float64{}
+			}
+			vals[k][tau] = m.v
+		}
+	}
+	var xs []float64
+	for tv := range taus {
+		xs = append(xs, tv)
+	}
+	sort.Float64s(xs)
+	var series []svgplot.Series
+	var keys []key
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ds != keys[j].ds {
+			return keys[i].ds < keys[j].ds
+		}
+		return keys[i].mode < keys[j].mode
+	})
+	for _, k := range keys {
+		s := svgplot.Series{Name: k.ds + "/" + k.mode}
+		for _, x := range xs {
+			s.Values = append(s.Values, vals[k][x])
+		}
+		series = append(series, s)
+	}
+	return svgplot.Lines(w, "Fig. 11 — impact of threshold τ", "τ", "seconds", xs, series, true, true)
+}
+
+func plotFig12(rows [][]string, w *os.File) error {
+	cats, series, err := pivot(rows, "dataset", "ordering", "seconds")
+	if err != nil {
+		return err
+	}
+	return svgplot.GroupedBars(w, "Fig. 12 — impact of vertex ordering", "seconds", cats, series, false)
+}
+
+func plotFig13(rows [][]string, w *os.File) error {
+	ei, err := col(rows, "edges")
+	if err != nil {
+		return err
+	}
+	ai, err := col(rows, "algorithm")
+	if err != nil {
+		return err
+	}
+	si, err := col(rows, "seconds")
+	if err != nil {
+		return err
+	}
+	tli, _ := col(rows, "timed_out")
+	edgeSet := map[float64]bool{}
+	vals := map[string]map[float64]float64{}
+	for _, r := range rows[1:] {
+		e := f64(r[ei])
+		edgeSet[e] = true
+		if vals[r[ai]] == nil {
+			vals[r[ai]] = map[float64]float64{}
+		}
+		v := f64(r[si])
+		if tli > 0 && r[tli] == "true" {
+			v = 0
+		}
+		vals[r[ai]][e] = v
+	}
+	var xs []float64
+	for e := range edgeSet {
+		xs = append(xs, e)
+	}
+	sort.Float64s(xs)
+	var names []string
+	for n := range vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var series []svgplot.Series
+	for _, n := range names {
+		s := svgplot.Series{Name: n}
+		for _, x := range xs {
+			s.Values = append(s.Values, vals[n][x])
+		}
+		series = append(series, s)
+	}
+	return svgplot.Lines(w, "Fig. 13 — impact of dataset size", "|E|", "seconds", xs, series, false, true)
+}
+
+func plotFig14(rows [][]string, w *os.File) error {
+	di, err := col(rows, "dataset")
+	if err != nil {
+		return err
+	}
+	ti, err := col(rows, "threads")
+	if err != nil {
+		return err
+	}
+	pi, err := col(rows, "paradambe_seconds")
+	if err != nil {
+		return err
+	}
+	mi, err := col(rows, "parmbe_seconds")
+	if err != nil {
+		return err
+	}
+	threadSet := map[float64]bool{}
+	vals := map[string]map[float64]float64{}
+	for _, r := range rows[1:] {
+		th := f64(r[ti])
+		threadSet[th] = true
+		for _, m := range []struct {
+			name string
+			v    float64
+		}{
+			{r[di] + "/ParAdaMBE", f64(r[pi])},
+			{r[di] + "/ParMBE", f64(r[mi])},
+		} {
+			if vals[m.name] == nil {
+				vals[m.name] = map[float64]float64{}
+			}
+			vals[m.name][th] = m.v
+		}
+	}
+	var xs []float64
+	for t := range threadSet {
+		xs = append(xs, t)
+	}
+	sort.Float64s(xs)
+	var names []string
+	for n := range vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var series []svgplot.Series
+	for _, n := range names {
+		s := svgplot.Series{Name: n}
+		for _, x := range xs {
+			s.Values = append(s.Values, vals[n][x])
+		}
+		series = append(series, s)
+	}
+	return svgplot.Lines(w, "Fig. 14 — impact of number of threads", "threads", "seconds", xs, series, true, true)
+}

@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCSVFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderPlotsAllFigures(t *testing.T) {
+	dir := t.TempDir()
+	writeCSVFile(t, dir, "fig4.csv", "log2_L_bucket,log2_C_bucket,share_pct\n0,0,55.5\n1,2,3.25\n")
+	writeCSVFile(t, dir, "fig5.csv", "dataset,inside_pct,outside_pct,total\nUL,32.8,67.2,93353\nUF,11.3,88.7,20707421\n")
+	writeCSVFile(t, dir, "fig8.csv", "dataset,algorithm,seconds,timed_out,peak_heap_mib,count\nUL,FMBE,0.5,false,2.0,637\nUL,AdaMBE,0.1,false,3.0,637\nUF,FMBE,60,true,2.0,100\nUF,AdaMBE,0.2,false,3.0,3723\n")
+	writeCSVFile(t, dir, "fig9.csv", "dataset,algorithm,seconds,count,timed_out\nceb,FMBE,60,12345,true\nceb,AdaMBE,9,3170937,false\n")
+	writeCSVFile(t, dir, "fig10.csv", "dataset,variant,seconds,peak_heap_mib,nonmax_nodes,small_seconds,large_seconds\nGH,Baseline,60,2.5,1,50,10\nGH,AdaMBE,1.4,7.0,1,1,0.4\n")
+	writeCSVFile(t, dir, "fig11.csv", "dataset,tau,padded_seconds,adaptive_seconds,bitmaps\nBX,4,22,22,100\nBX,64,1.5,1.5,50\nBX,512,9,0.8,10\n")
+	writeCSVFile(t, dir, "fig12.csv", "dataset,ordering,seconds,count\nGH,ASC,1.4,1\nGH,RAND,1.5,1\nGH,UC,2.0,1\n")
+	writeCSVFile(t, dir, "fig13.csv", "dataset,edges,algorithm,seconds,timed_out,count\nLJ10,100963,FMBE,0.064,false,1\nLJ10,100963,AdaMBE,0.051,false,1\nLJ50,504848,FMBE,13.1,false,1\nLJ50,504848,AdaMBE,1.59,false,1\n")
+	writeCSVFile(t, dir, "fig14.csv", "dataset,threads,paradambe_seconds,parmbe_seconds\nGH,1,2.16,25.7\nGH,2,1.4,20.1\n")
+
+	written, err := RenderPlots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(written) != 9 {
+		t.Fatalf("wrote %d figures, want 9: %v", len(written), written)
+	}
+	for _, f := range written {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := string(data)
+		if !strings.HasPrefix(s, "<svg") || !strings.HasSuffix(strings.TrimSpace(s), "</svg>") {
+			t.Fatalf("%s: not an SVG document", f)
+		}
+		if len(s) < 500 {
+			t.Fatalf("%s: suspiciously small (%d bytes)", f, len(s))
+		}
+	}
+}
+
+func TestRenderPlotsSkipsMissing(t *testing.T) {
+	dir := t.TempDir()
+	writeCSVFile(t, dir, "fig12.csv", "dataset,ordering,seconds,count\nGH,ASC,1.4,1\n")
+	written, err := RenderPlots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(written) != 1 || !strings.HasSuffix(written[0], "fig12.svg") {
+		t.Fatalf("written = %v", written)
+	}
+}
+
+func TestRenderPlotsRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	writeCSVFile(t, dir, "fig12.csv", "wrong,headers\n1,2\n")
+	if _, err := RenderPlots(dir); err == nil {
+		t.Fatal("malformed CSV accepted")
+	}
+}
+
+func TestRenderPlotsEndToEnd(t *testing.T) {
+	// Produce a real (quick) experiment CSV, then plot it.
+	dir := t.TempDir()
+	cfg := quickCfg(t)
+	cfg.CSVDir = dir
+	if err := Fig5(cfg); err != nil {
+		t.Fatal(err)
+	}
+	written, err := RenderPlots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(written) != 1 {
+		t.Fatalf("written = %v", written)
+	}
+}

@@ -1,0 +1,405 @@
+// Package svgplot renders the small family of charts the paper's figures
+// use — grouped bars, multi-series lines, stacked percentage bars and a
+// heatmap — as self-contained SVG, with optional log axes. It is the
+// equivalent of the original artifact's fig/ plotting scripts, with no
+// dependencies.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named sequence of Y values over the shared X categories
+// or positions of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// palette is a color-blind-safe cycle.
+var palette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377",
+	"#bbbbbb", "#000000",
+}
+
+const (
+	chartW   = 760
+	chartH   = 420
+	marginL  = 70
+	marginR  = 20
+	marginT  = 40
+	marginB  = 84
+	plotW    = chartW - marginL - marginR
+	plotH    = chartH - marginT - marginB
+	fontFace = "font-family=\"Helvetica,Arial,sans-serif\""
+)
+
+type svgBuilder struct {
+	strings.Builder
+}
+
+func (b *svgBuilder) open(title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		chartW, chartH, chartW, chartH)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", chartW, chartH)
+	fmt.Fprintf(b, `<text x="%d" y="24" text-anchor="middle" font-size="16" %s>%s</text>`+"\n",
+		chartW/2, fontFace, escape(title))
+}
+
+func (b *svgBuilder) close() { b.WriteString("</svg>\n") }
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// axis maps data values into plot-pixel Y coordinates, linearly or
+// logarithmically.
+type axis struct {
+	min, max float64
+	log      bool
+}
+
+func newAxis(values []float64, logScale bool) axis {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if logScale && v <= 0 {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) { // no usable values
+		if logScale {
+			return axis{min: 0.1, max: 1, log: true}
+		}
+		lo, hi = 0, 1
+	}
+	if logScale {
+		lo = math.Pow(10, math.Floor(math.Log10(lo)))
+		hi = math.Pow(10, math.Ceil(math.Log10(hi)))
+		if lo == hi {
+			hi *= 10
+		}
+	} else {
+		lo = 0
+		if hi <= 0 {
+			hi = 1
+		}
+		hi *= 1.05
+	}
+	return axis{min: lo, max: hi, log: logScale}
+}
+
+// y maps a value to a pixel Y (top of plot = max).
+func (a axis) y(v float64) float64 {
+	var frac float64
+	if a.log {
+		if v <= 0 {
+			v = a.min
+		}
+		frac = (math.Log10(v) - math.Log10(a.min)) / (math.Log10(a.max) - math.Log10(a.min))
+	} else {
+		frac = (v - a.min) / (a.max - a.min)
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return float64(marginT) + float64(plotH)*(1-frac)
+}
+
+// ticks returns tick values for the axis.
+func (a axis) ticks() []float64 {
+	var out []float64
+	if a.log {
+		for v := a.min; v <= a.max*1.0001; v *= 10 {
+			out = append(out, v)
+		}
+		return out
+	}
+	step := niceStep(a.max - a.min)
+	for v := a.min; v <= a.max+step/2; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+func niceStep(span float64) float64 {
+	raw := span / 5
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	switch {
+	case raw/mag < 1.5:
+		return mag
+	case raw/mag < 3.5:
+		return 2 * mag
+	case raw/mag < 7.5:
+		return 5 * mag
+	default:
+		return 10 * mag
+	}
+}
+
+func fmtTick(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.0fM", v/1e6)
+	case math.Abs(v) >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func (b *svgBuilder) yAxis(a axis, label string) {
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	for _, tv := range a.ticks() {
+		y := a.y(tv)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" text-anchor="end" font-size="11" %s>%s</text>`+"\n",
+			marginL-6, y+4, fontFace, fmtTick(tv))
+	}
+	fmt.Fprintf(b, `<text x="16" y="%d" text-anchor="middle" font-size="12" %s transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginT+plotH/2, fontFace, marginT+plotH/2, escape(label))
+}
+
+func (b *svgBuilder) xCategoryLabels(cats []string) {
+	n := len(cats)
+	if n == 0 {
+		return
+	}
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	for i, c := range cats {
+		x := float64(marginL) + (float64(i)+0.5)*float64(plotW)/float64(n)
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" text-anchor="end" font-size="11" %s transform="rotate(-40 %.1f %d)">%s</text>`+"\n",
+			x, marginT+plotH+16, fontFace, x, marginT+plotH+16, escape(c))
+	}
+}
+
+func (b *svgBuilder) legend(names []string) {
+	x := marginL
+	y := chartH - 14
+	for i, name := range names {
+		color := palette[i%len(palette)]
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", x, y-10, color)
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11" %s>%s</text>`+"\n", x+16, y, fontFace, escape(name))
+		x += 16 + 8*len(name) + 24
+	}
+}
+
+// GroupedBars renders one bar per (category, series) pair; zero or
+// negative values are drawn as hatched "missing" markers when logY is set
+// (the TLE convention in the figures).
+func GroupedBars(w io.Writer, title, yLabel string, categories []string, series []Series, logY bool) error {
+	var all []float64
+	for _, s := range series {
+		all = append(all, s.Values...)
+	}
+	a := newAxis(all, logY)
+	var b svgBuilder
+	b.open(title)
+	b.yAxis(a, yLabel)
+	b.xCategoryLabels(categories)
+	nCat, nSer := len(categories), len(series)
+	if nCat > 0 && nSer > 0 {
+		groupW := float64(plotW) / float64(nCat)
+		barW := groupW * 0.8 / float64(nSer)
+		for si, s := range series {
+			color := palette[si%len(palette)]
+			for ci := 0; ci < nCat && ci < len(s.Values); ci++ {
+				v := s.Values[ci]
+				x := float64(marginL) + float64(ci)*groupW + groupW*0.1 + float64(si)*barW
+				if logY && v <= 0 {
+					// Missing / TLE marker.
+					fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" %s fill="%s">×</text>`+"\n",
+						x, float64(marginT+plotH-3), fontFace, color)
+					continue
+				}
+				y := a.y(v)
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+					x, y, barW, float64(marginT+plotH)-y, color)
+			}
+		}
+	}
+	names := make([]string, nSer)
+	for i, s := range series {
+		names[i] = s.Name
+	}
+	b.legend(names)
+	b.close()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Lines renders one polyline per series over shared numeric X positions.
+func Lines(w io.Writer, title, xLabel, yLabel string, xs []float64, series []Series, logX, logY bool) error {
+	var all []float64
+	for _, s := range series {
+		all = append(all, s.Values...)
+	}
+	a := newAxis(all, logY)
+	xa := newAxis(xs, logX)
+	xpos := func(v float64) float64 {
+		var frac float64
+		if logX {
+			frac = (math.Log10(v) - math.Log10(xa.min)) / (math.Log10(xa.max) - math.Log10(xa.min))
+		} else {
+			span := xa.max - xa.min
+			if span == 0 {
+				span = 1
+			}
+			frac = (v - xa.min) / span
+		}
+		return float64(marginL) + frac*float64(plotW)
+	}
+	var b svgBuilder
+	b.open(title)
+	b.yAxis(a, yLabel)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	for _, xv := range xs {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-size="11" %s>%s</text>`+"\n",
+			xpos(xv), marginT+plotH+16, fontFace, fmtTick(xv))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-size="12" %s>%s</text>`+"\n",
+		marginL+plotW/2, marginT+plotH+38, fontFace, escape(xLabel))
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := 0; i < len(xs) && i < len(s.Values); i++ {
+			if logY && s.Values[i] <= 0 {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xpos(xs[i]), a.y(s.Values[i])))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+			for _, p := range pts {
+				xy := strings.Split(p, ",")
+				fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="3" fill="%s"/>`+"\n", xy[0], xy[1], color)
+			}
+		}
+	}
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+	}
+	b.legend(names)
+	b.close()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// StackedPercent renders 100%-stacked bars (e.g. Fig. 5's inside/outside
+// access split). Each series contributes its share of the per-category
+// total.
+func StackedPercent(w io.Writer, title string, categories []string, series []Series) error {
+	var b svgBuilder
+	b.open(title)
+	a := axis{min: 0, max: 100}
+	b.yAxis(a, "% of accesses")
+	b.xCategoryLabels(categories)
+	nCat := len(categories)
+	if nCat > 0 {
+		groupW := float64(plotW) / float64(nCat)
+		for ci := 0; ci < nCat; ci++ {
+			total := 0.0
+			for _, s := range series {
+				if ci < len(s.Values) {
+					total += s.Values[ci]
+				}
+			}
+			if total <= 0 {
+				continue
+			}
+			yBase := float64(marginT + plotH)
+			for si, s := range series {
+				if ci >= len(s.Values) {
+					continue
+				}
+				frac := s.Values[ci] / total * 100
+				h := float64(plotH) * frac / 100
+				x := float64(marginL) + float64(ci)*groupW + groupW*0.15
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+					x, yBase-h, groupW*0.7, h, palette[si%len(palette)])
+				yBase -= h
+			}
+		}
+	}
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+	}
+	b.legend(names)
+	b.close()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Heatmap renders a matrix of shares (Fig. 4's CG-size distribution):
+// cell [r][c] colored by value relative to the matrix maximum.
+func Heatmap(w io.Writer, title, xLabel, yLabel string, rows, cols []string, cells [][]float64) error {
+	var b svgBuilder
+	b.open(title)
+	maxV := 0.0
+	for _, row := range cells {
+		for _, v := range row {
+			maxV = math.Max(maxV, v)
+		}
+	}
+	nR, nC := len(rows), len(cols)
+	if nR > 0 && nC > 0 {
+		cw := float64(plotW) / float64(nC)
+		ch := float64(plotH) / float64(nR)
+		for r := 0; r < nR; r++ {
+			for c := 0; c < nC; c++ {
+				v := 0.0
+				if r < len(cells) && c < len(cells[r]) {
+					v = cells[r][c]
+				}
+				frac := 0.0
+				if maxV > 0 {
+					frac = v / maxV
+				}
+				// White → deep blue.
+				shade := int(255 - frac*200)
+				x := float64(marginL) + float64(c)*cw
+				y := float64(marginT) + float64(r)*ch
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="rgb(%d,%d,255)" stroke="#eeeeee"/>`+"\n",
+					x, y, cw, ch, shade, shade)
+				if v > 0 && frac > 0.02 {
+					fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="9" %s>%s</text>`+"\n",
+						x+cw/2, y+ch/2+3, fontFace, fmtTick(v))
+				}
+			}
+		}
+		for r, name := range rows {
+			fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" font-size="10" %s>%s</text>`+"\n",
+				marginL-6, float64(marginT)+(float64(r)+0.5)*ch+3, fontFace, escape(name))
+		}
+		for c, name := range cols {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-size="10" %s>%s</text>`+"\n",
+				float64(marginL)+(float64(c)+0.5)*cw, marginT+plotH+14, fontFace, escape(name))
+		}
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-size="12" %s>%s</text>`+"\n",
+		marginL+plotW/2, marginT+plotH+34, fontFace, escape(xLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" text-anchor="middle" font-size="12" %s transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginT+plotH/2, fontFace, marginT+plotH/2, escape(yLabel))
+	b.close()
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,157 @@
+package svgplot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+// wellFormed parses the output as XML — catches unbalanced tags and
+// unescaped content.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg[:min(len(svg), 400)])
+		}
+	}
+}
+
+func TestGroupedBars(t *testing.T) {
+	var buf bytes.Buffer
+	err := GroupedBars(&buf, "Fig. 8a <runtime>", "seconds",
+		[]string{"UL", "UF"}, []Series{
+			{Name: "AdaMBE", Values: []float64{0.1, 0.2}},
+			{Name: "FMBE", Values: []float64{1.5, 0}},
+		}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wellFormed(t, out)
+	if !strings.Contains(out, "Fig. 8a &lt;runtime&gt;") {
+		t.Fatal("title not escaped")
+	}
+	if strings.Count(out, "<rect") < 3 { // background + ≥3 bars... one value is 0/TLE
+		t.Fatalf("too few rects:\n%s", out)
+	}
+	if !strings.Contains(out, "×") {
+		t.Fatal("missing TLE marker for zero value on log axis")
+	}
+	if !strings.Contains(out, "AdaMBE") || !strings.Contains(out, "FMBE") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestLines(t *testing.T) {
+	var buf bytes.Buffer
+	err := Lines(&buf, "Fig. 11", "tau", "seconds",
+		[]float64{4, 8, 16, 32, 64},
+		[]Series{{Name: "BX", Values: []float64{22, 19, 11, 7, 1.5}}},
+		true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wellFormed(t, out)
+	if !strings.Contains(out, "<polyline") {
+		t.Fatal("no polyline")
+	}
+	if strings.Count(out, "<circle") != 5 {
+		t.Fatalf("want 5 markers, got %d", strings.Count(out, "<circle"))
+	}
+}
+
+func TestStackedPercent(t *testing.T) {
+	var buf bytes.Buffer
+	err := StackedPercent(&buf, "Fig. 5", []string{"UL", "UF", "empty"}, []Series{
+		{Name: "inside", Values: []float64{30, 10, 0}},
+		{Name: "outside", Values: []float64{70, 90, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wellFormed(t, out)
+	// background + 2 categories × 2 segments (the all-zero category draws
+	// nothing) + 2 legend swatches.
+	if strings.Count(out, "<rect") != 1+4+2 {
+		t.Fatalf("rect count = %d", strings.Count(out, "<rect"))
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	var buf bytes.Buffer
+	err := Heatmap(&buf, "Fig. 4", "|C| bucket", "|L| bucket",
+		[]string{"1", "2"}, []string{"1", "2", "4"},
+		[][]float64{{50, 3, 0}, {10, 0, 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wellFormed(t, out)
+	if strings.Count(out, "<rect") != 1+6 { // background + 6 cells (no legend)
+		t.Fatalf("rect count = %d", strings.Count(out, "<rect"))
+	}
+}
+
+func TestAxisLinearAndLog(t *testing.T) {
+	lin := newAxis([]float64{0.5, 9}, false)
+	if lin.min != 0 || lin.max <= 9 {
+		t.Fatalf("linear axis: %+v", lin)
+	}
+	if y0, y9 := lin.y(0), lin.y(9); y0 <= y9 {
+		t.Fatal("linear axis not decreasing in pixel space")
+	}
+	lg := newAxis([]float64{0.5, 90}, true)
+	if lg.min != 0.1 || lg.max != 100 {
+		t.Fatalf("log axis bounds: %+v", lg)
+	}
+	ticks := lg.ticks()
+	if len(ticks) != 4 { // 0.1, 1, 10, 100
+		t.Fatalf("log ticks: %v", ticks)
+	}
+	// Clamping.
+	if lg.y(1e9) != float64(marginT) {
+		t.Fatal("overflow not clamped to top")
+	}
+	if lg.y(-5) != float64(marginT+plotH) {
+		t.Fatal("non-positive not clamped to bottom on log axis")
+	}
+}
+
+func TestAxisDegenerate(t *testing.T) {
+	a := newAxis(nil, true)
+	if math.IsNaN(a.y(1)) {
+		t.Fatal("NaN from empty axis")
+	}
+	b := newAxis([]float64{0, 0}, false)
+	if math.IsNaN(b.y(0)) {
+		t.Fatal("NaN from all-zero axis")
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := map[float64]float64{10: 2, 100: 20, 7: 1, 35: 5, 0.5: 0.1}
+	for span, want := range cases {
+		if got := niceStep(span); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("niceStep(%g) = %g, want %g", span, got, want)
+		}
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{0: "0", 1500000: "2M", 2000: "2k", 2.5: "2.5", 0.01: "0.01"}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Fatalf("fmtTick(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

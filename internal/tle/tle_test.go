@@ -1,0 +1,73 @@
+package tle
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroDeadlineNeverHits(t *testing.T) {
+	var d Deadline
+	for i := 0; i < 3*CheckEvery; i++ {
+		if d.Hit() {
+			t.Fatal("zero deadline hit")
+		}
+	}
+	if d.Expired() {
+		t.Fatal("zero deadline expired")
+	}
+}
+
+func TestExpiredDeadlineHitsOnFirstCall(t *testing.T) {
+	d := New(time.Now().Add(-time.Second))
+	if !d.Hit() {
+		t.Fatal("expired deadline not hit on first call")
+	}
+	if !d.Expired() {
+		t.Fatal("Expired() false after hit")
+	}
+	// Stays expired.
+	if !d.Hit() {
+		t.Fatal("expired deadline recovered")
+	}
+}
+
+func TestFutureDeadlineDoesNotHit(t *testing.T) {
+	d := New(time.Now().Add(time.Hour))
+	for i := 0; i < 3*CheckEvery; i++ {
+		if d.Hit() {
+			t.Fatal("future deadline hit")
+		}
+	}
+}
+
+func TestDeadlineEventuallyHits(t *testing.T) {
+	d := New(time.Now().Add(20 * time.Millisecond))
+	deadline := time.Now().Add(5 * time.Second)
+	for !d.Hit() {
+		if time.Now().After(deadline) {
+			t.Fatal("deadline never hit")
+		}
+	}
+}
+
+func TestAmortizedPolling(t *testing.T) {
+	// After the first poll, the clock is consulted only every CheckEvery
+	// hits; between polls Hit must be false even if the wall clock passes
+	// the deadline. This test just verifies the counter cadence: a fresh
+	// non-expired deadline polls on call 1, then not until CheckEvery more.
+	d := New(time.Now().Add(50 * time.Millisecond))
+	if d.Hit() {
+		t.Fatal("hit immediately")
+	}
+	time.Sleep(60 * time.Millisecond)
+	// The deadline has passed, but the next poll happens only after
+	// CheckEvery-1 more hits.
+	for i := 0; i < CheckEvery-1; i++ {
+		if d.Hit() {
+			t.Fatalf("polled too early at hit %d", i)
+		}
+	}
+	if !d.Hit() {
+		t.Fatal("poll did not happen at the CheckEvery boundary")
+	}
+}

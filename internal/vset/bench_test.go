@@ -1,0 +1,92 @@
+package vset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randSorted(rng *rand.Rand, n, space int) []int32 {
+	seen := map[int32]bool{}
+	out := make([]int32, 0, n)
+	for len(out) < n {
+		x := int32(rng.Intn(space))
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// The merge-intersection kernel at the three shapes the enumeration hits:
+// balanced lists, skewed lists, and tiny-vs-large.
+func BenchmarkIntersect(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := []struct {
+		name   string
+		na, nb int
+	}{
+		{"64x64", 64, 64},
+		{"64x1024", 64, 1024},
+		{"1024x1024", 1024, 1024},
+		{"8x4096", 8, 4096},
+	}
+	for _, s := range shapes {
+		a := randSorted(rng, s.na, 1<<16)
+		c := randSorted(rng, s.nb, 1<<16)
+		dst := make([]int32, min(s.na, s.nb))
+		b.Run("Into/"+s.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				IntersectInto(dst, a, c)
+			}
+		})
+		b.Run("Len/"+s.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				IntersectLen(a, c)
+			}
+		})
+	}
+}
+
+func BenchmarkSlabAllocRelease(b *testing.B) {
+	var s Slab[int32]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := s.Mark()
+		for j := 0; j < 32; j++ {
+			buf := s.Alloc(64)
+			buf[0] = int32(j)
+		}
+		s.Release(m)
+	}
+}
+
+// BenchmarkSlabVsMake quantifies the design choice DESIGN.md calls out:
+// slab-stack allocation versus per-node make for the enumeration scratch.
+func BenchmarkSlabVsMake(b *testing.B) {
+	b.Run("slab", func(b *testing.B) {
+		var s Slab[int32]
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := s.Mark()
+			buf := s.Alloc(256)
+			buf[255] = 1
+			s.Release(m)
+		}
+	})
+	b.Run("make", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf := make([]int32, 256)
+			buf[255] = 1
+			_ = buf
+		}
+	})
+}

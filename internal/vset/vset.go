@@ -1,0 +1,174 @@
+// Package vset provides sorted-vertex-set kernels (merge intersections,
+// subset tests) and a stack allocator shared by all enumeration engines.
+// Slices are int32 vertex ids, sorted ascending and duplicate-free.
+package vset
+
+// IntersectInto writes a ∩ b into dst and returns the number of elements
+// written. dst must have capacity ≥ min(len(a), len(b)); dst may alias a
+// or b (the write position never overtakes either read position).
+func IntersectInto(dst, a, b []int32) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		av, bv := a[i], b[j]
+		switch {
+		case av == bv:
+			dst[n] = av
+			n++
+			i++
+			j++
+		case av < bv:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// IntersectGallop writes small ∩ large into dst by binary-searching each
+// element of small in large, and returns the count. Both inputs sorted
+// duplicate-free; intended for |small| ≪ |large| where the merge's
+// O(|small|+|large|) scan wastes most of its work.
+func IntersectGallop(dst, small, large []int32) int {
+	n := 0
+	lo := 0
+	for _, x := range small {
+		// Galloping lower bound within large[lo:].
+		step := 1
+		hi := lo
+		for hi < len(large) && large[hi] < x {
+			lo = hi + 1
+			hi += step
+			step <<= 1
+		}
+		if hi > len(large) {
+			hi = len(large)
+		}
+		// Binary search in (lo-1, hi].
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if large[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(large) && large[lo] == x {
+			dst[n] = x
+			n++
+			lo++
+		}
+		if lo >= len(large) {
+			break
+		}
+	}
+	return n
+}
+
+// IntersectLen returns |a ∩ b|.
+func IntersectLen(a, b []int32) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		av, bv := a[i], b[j]
+		switch {
+		case av == bv:
+			n++
+			i++
+			j++
+		case av < bv:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// IsSubset reports whether a ⊆ b.
+func IsSubset(a, b []int32) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j >= len(b) || b[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// Equal reports whether a and b hold identical elements.
+func Equal(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Slab is a stack allocator for per-node scratch slices: mark on node
+// entry, release when the node's subtree completes. Blocks are retained
+// across releases so steady-state enumeration does not allocate.
+type Slab[T any] struct {
+	blocks [][]T
+	bi     int // current block index
+	off    int // offset in current block
+}
+
+const slabMinBlock = 1 << 14
+
+// Mark is a position in a Slab that Release can rewind to.
+type Mark struct{ bi, off int }
+
+// Mark returns the current position.
+func (s *Slab[T]) Mark() Mark { return Mark{s.bi, s.off} }
+
+// Release rewinds the slab to a previous Mark, freeing everything
+// allocated since.
+func (s *Slab[T]) Release(m Mark) { s.bi, s.off = m.bi, m.off }
+
+// Alloc returns an uninitialized slice of length n carved from the slab.
+func (s *Slab[T]) Alloc(n int) []T {
+	if len(s.blocks) == 0 {
+		s.blocks = append(s.blocks, make([]T, slabMinBlock))
+	}
+	for s.off+n > len(s.blocks[s.bi]) {
+		if s.bi+1 < len(s.blocks) {
+			s.bi++
+			s.off = 0
+			continue
+		}
+		size := len(s.blocks[s.bi]) * 2
+		for size < n {
+			size *= 2
+		}
+		s.blocks = append(s.blocks, make([]T, size))
+		s.bi++
+		s.off = 0
+	}
+	b := s.blocks[s.bi][s.off : s.off+n : s.off+n]
+	s.off += n
+	return b
+}
+
+// ShrinkLast gives back the unused tail of the most recent Alloc: the
+// caller allocated `allocated`, used `used`, and the slab reclaims the
+// difference. Only valid immediately after the corresponding Alloc.
+func (s *Slab[T]) ShrinkLast(allocated, used int) {
+	s.off -= allocated - used
+}

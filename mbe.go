@@ -1,0 +1,340 @@
+// Package mbe is a library for maximal biclique enumeration (MBE) in
+// bipartite graphs, implementing AdaMBE and ParAdaMBE from
+//
+//	Pan et al., "Enumeration of Billions of Maximal Bicliques in
+//	Bipartite Graphs without Using GPUs", SC 2024,
+//
+// together with the competitor algorithms the paper evaluates (FMBE, PMBE,
+// ooMBEA, ParMBE and a CPU simulation of the GPU algorithm GMBE), vertex
+// orderings, synthetic dataset generators, and an experiment harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	g, err := mbe.LoadKonect("out.github")          // or mbe.Dataset("GH")
+//	res, err := mbe.Enumerate(g, mbe.Options{
+//	    Algorithm: mbe.ParAdaMBE,
+//	    OnBiclique: func(L, R []int32) { /* slices are reused: copy to keep */ },
+//	})
+//	fmt.Println(res.Count, res.Elapsed)
+//
+// The enumeration convention follows the paper: a maximal biclique (L, R)
+// has L ⊆ U, R ⊆ V, both non-empty, contains every edge between L and R,
+// and is not contained in any larger biclique.
+package mbe
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// Graph is an immutable bipartite graph G(U, V, E). Obtain one from
+// LoadKonect, FromEdges, a generator, or the Dataset registry.
+type Graph struct {
+	b *graph.Bipartite
+}
+
+// Edge is a single (U-side, V-side) edge.
+type Edge = graph.Edge
+
+// Stats summarizes a graph (Table I-style row).
+type Stats = graph.Stats
+
+// FromEdges builds a graph with the given side sizes from an edge list;
+// duplicate edges collapse.
+func FromEdges(nu, nv int, edges []Edge) (*Graph, error) {
+	b, err := graph.FromEdges(nu, nv, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{b}, nil
+}
+
+// LoadKonect reads a KONECT-format edge list ("u v [weight [ts]]" lines,
+// '%' comments) from a file, compacting ids and orienting the graph so the
+// smaller side is V, as in the paper's setup.
+func LoadKonect(path string) (*Graph, error) {
+	b, err := graph.ReadKonectFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{b}, nil
+}
+
+// ReadKonect is LoadKonect over an io.Reader.
+func ReadKonect(r io.Reader) (*Graph, error) {
+	b, err := graph.ReadKonect(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{b}, nil
+}
+
+// Dataset builds a named synthetic dataset analogue from the registry
+// ("GH", "BX", "ceb", "LJ30", …); see internal/datasets for the catalogue.
+func Dataset(name string) (*Graph, error) {
+	s, ok := datasets.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("mbe: unknown dataset %q", name)
+	}
+	return &Graph{s.Build()}, nil
+}
+
+// GenerateUniform returns a uniform random bipartite graph with ~m edges.
+func GenerateUniform(seed int64, nu, nv, m int) *Graph {
+	return &Graph{gen.Uniform(seed, nu, nv, m)}
+}
+
+// GeneratePowerLaw returns a Zipf-degree-skewed bipartite graph.
+func GeneratePowerLaw(seed int64, nu, nv, m int, sU, sV float64) *Graph {
+	return &Graph{gen.PowerLaw(seed, nu, nv, m, sU, sV)}
+}
+
+// AffiliationConfig parameterizes GenerateAffiliation.
+type AffiliationConfig = gen.AffiliationConfig
+
+// GenerateAffiliation returns a planted-overlapping-community graph — the
+// structure behind membership/rating datasets whose maximal-biclique
+// counts explode.
+func GenerateAffiliation(seed int64, cfg AffiliationConfig) *Graph {
+	return &Graph{gen.Affiliation(seed, cfg)}
+}
+
+// NU returns |U|.
+func (g *Graph) NU() int { return g.b.NU() }
+
+// NV returns |V|.
+func (g *Graph) NV() int { return g.b.NV() }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int64 { return g.b.NumEdges() }
+
+// Stats computes summary statistics.
+func (g *Graph) Stats() Stats { return graph.Summarize(g.b) }
+
+// Orient returns the graph with the smaller side designated V (the paper's
+// dataset convention). Loaders orient automatically.
+func (g *Graph) Orient() *Graph { return &Graph{g.b.Orient()} }
+
+// NeighborsOfV returns the sorted U-neighbors of v; the slice must not be
+// modified.
+func (g *Graph) NeighborsOfV(v int32) []int32 { return g.b.NeighborsOfV(v) }
+
+// NeighborsOfU returns the sorted V-neighbors of u; the slice must not be
+// modified.
+func (g *Graph) NeighborsOfU(u int32) []int32 { return g.b.NeighborsOfU(u) }
+
+// HasEdge reports whether (u, v) ∈ E.
+func (g *Graph) HasEdge(u, v int32) bool { return g.b.HasEdge(u, v) }
+
+// WriteEdgeList writes the graph in KONECT text format (0-based ids).
+func (g *Graph) WriteEdgeList(w io.Writer) error { return g.b.WriteEdgeList(w) }
+
+// WriteBinary / ReadBinary give a fast binary cache format for large
+// generated graphs.
+func (g *Graph) WriteBinary(w io.Writer) error { return g.b.WriteBinary(w) }
+
+// ReadBinary reads a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	b, err := graph.ReadBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{b}, nil
+}
+
+// Algorithm selects the enumeration algorithm.
+type Algorithm int
+
+const (
+	// AdaMBE is the paper's serial algorithm (Algorithm 2): local
+	// neighborhoods + adaptive bitmaps. The default.
+	AdaMBE Algorithm = iota
+	// ParAdaMBE is the shared-memory parallel AdaMBE.
+	ParAdaMBE
+	// BaselineMBE is Algorithm 1 without LN or BIT (for ablations).
+	BaselineMBE
+	// AdaMBELN enables only the local-neighborhood technique.
+	AdaMBELN
+	// AdaMBEBIT enables only the bitmap technique.
+	AdaMBEBIT
+	// FMBE, PMBE, OOMBEA are the serial competitors; ParMBE and GMBESim
+	// the parallel ones (GMBESim is the CPU simulation of the GPU
+	// algorithm GMBE).
+	FMBE
+	PMBE
+	OOMBEA
+	ParMBE
+	GMBESim
+)
+
+// String returns the algorithm's name as used in the paper.
+func (a Algorithm) String() string {
+	switch a {
+	case AdaMBE:
+		return "AdaMBE"
+	case ParAdaMBE:
+		return "ParAdaMBE"
+	case BaselineMBE:
+		return "Baseline"
+	case AdaMBELN:
+		return "AdaMBE-LN"
+	case AdaMBEBIT:
+		return "AdaMBE-BIT"
+	case FMBE:
+		return "FMBE"
+	case PMBE:
+		return "PMBE"
+	case OOMBEA:
+		return "ooMBEA"
+	case ParMBE:
+		return "ParMBE"
+	case GMBESim:
+		return "GMBE-sim"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Ordering selects the V-side processing order for the AdaMBE family
+// (competitors use their own papers' defaults).
+type Ordering int
+
+const (
+	// OrderAscendingDegree is AdaMBE's default (Fig. 12's winner).
+	OrderAscendingDegree Ordering = iota
+	// OrderRandom shuffles V (seeded).
+	OrderRandom
+	// OrderUnilateralCore is ooMBEA's UC order.
+	OrderUnilateralCore
+	// OrderNone keeps the input order.
+	OrderNone
+)
+
+// Handler receives each maximal biclique. Slices are reused by the engine:
+// copy them to retain. Parallel algorithms serialize handler calls.
+type Handler = core.Handler
+
+// Metrics exposes the instrumentation counters behind the paper's
+// motivation and breakdown figures (see core.Metrics).
+type Metrics = core.Metrics
+
+// Result summarizes an enumeration run.
+type Result = core.Result
+
+// Options configures Enumerate. The zero value runs serial AdaMBE with
+// τ = 64 and ascending-degree ordering.
+type Options struct {
+	// Algorithm to run; default AdaMBE.
+	Algorithm Algorithm
+	// Tau is the bitmap threshold τ (AdaMBE family); 0 = 64.
+	Tau int
+	// Threads for the parallel algorithms; 0 = GOMAXPROCS.
+	Threads int
+	// Ordering for the AdaMBE family; default ascending degree.
+	Ordering Ordering
+	// Seed for OrderRandom.
+	Seed int64
+	// OnBiclique receives every maximal biclique, if non-nil.
+	OnBiclique Handler
+	// Deadline stops the run early (Result.TimedOut reports it).
+	Deadline time.Time
+	// Metrics, if non-nil, gathers instrumentation (AdaMBE family only).
+	Metrics *Metrics
+}
+
+// Enumerate runs the configured algorithm and returns the result. The
+// reported ids are always in g's id space.
+func Enumerate(g *Graph, opts Options) (Result, error) {
+	switch opts.Algorithm {
+	case AdaMBE, ParAdaMBE, BaselineMBE, AdaMBELN, AdaMBEBIT:
+		return enumerateCore(g, opts)
+	case FMBE, PMBE, OOMBEA, ParMBE, GMBESim:
+		alg := map[Algorithm]baselines.Algorithm{
+			FMBE: baselines.FMBE, PMBE: baselines.PMBE, OOMBEA: baselines.OOMBEA,
+			ParMBE: baselines.ParMBE, GMBESim: baselines.GMBE,
+		}[opts.Algorithm]
+		return baselines.Run(g.b, alg, baselines.Options{
+			Threads:    opts.Threads,
+			OnBiclique: opts.OnBiclique,
+			Deadline:   opts.Deadline,
+		})
+	default:
+		return Result{}, fmt.Errorf("mbe: unknown algorithm %d", int(opts.Algorithm))
+	}
+}
+
+func enumerateCore(g *Graph, opts Options) (Result, error) {
+	variant := map[Algorithm]core.Variant{
+		AdaMBE: core.Ada, ParAdaMBE: core.Ada, BaselineMBE: core.Baseline,
+		AdaMBELN: core.LN, AdaMBEBIT: core.BIT,
+	}[opts.Algorithm]
+
+	b := g.b
+	var perm []int32
+	switch opts.Ordering {
+	case OrderNone:
+	case OrderAscendingDegree, OrderRandom, OrderUnilateralCore:
+		kind := map[Ordering]order.Kind{
+			OrderAscendingDegree: order.DegreeAscending,
+			OrderRandom:          order.Random,
+			OrderUnilateralCore:  order.UnilateralCore,
+		}[opts.Ordering]
+		perm = order.Permutation(b, kind, opts.Seed)
+		var err error
+		b, err = b.PermuteV(perm)
+		if err != nil {
+			return Result{}, err
+		}
+	default:
+		return Result{}, fmt.Errorf("mbe: unknown ordering %d", int(opts.Ordering))
+	}
+
+	handler := opts.OnBiclique
+	if handler != nil && perm != nil {
+		inner := handler
+		h := make([]int32, 0, 64)
+		var mapBack Handler = func(L, R []int32) {
+			h = h[:0]
+			for _, v := range R {
+				h = append(h, perm[v])
+			}
+			inner(L, h)
+		}
+		handler = mapBack
+	}
+
+	threads := opts.Threads
+	if opts.Algorithm == ParAdaMBE && threads == 0 {
+		threads = defaultThreads()
+	}
+	if opts.Algorithm != ParAdaMBE {
+		threads = 0
+	}
+	return core.Enumerate(b, core.Options{
+		Variant:    variant,
+		Tau:        opts.Tau,
+		Threads:    threads,
+		OnBiclique: handler,
+		Deadline:   opts.Deadline,
+		Metrics:    opts.Metrics,
+	})
+}
+
+func defaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// Count enumerates with default options (serial AdaMBE) and returns only
+// the number of maximal bicliques.
+func Count(g *Graph) (int64, error) {
+	res, err := Enumerate(g, Options{})
+	return res.Count, err
+}
