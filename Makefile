@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/core ./internal/baselines .
+	$(GO) test -race ./...
 
 # One testing.B benchmark per paper table/figure plus kernel micro-benches.
 bench:

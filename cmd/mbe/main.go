@@ -13,11 +13,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	mbe "repro"
@@ -54,6 +58,7 @@ func main() {
 		ord      = flag.String("o", "asc", "vertex ordering for the AdaMBE family: asc|rand|uc|none")
 		seed     = flag.Int64("seed", 0, "seed for -o rand")
 		tle      = flag.Duration("tle", 0, "time budget (0 = unlimited); partial count reported on expiry")
+		maxMem   = flag.Int64("maxmem", 0, "soft engine-memory budget in MiB (0 = unlimited); partial count reported when exceeded")
 		print    = flag.Bool("print", false, "print every maximal biclique to stdout")
 		progress = flag.Duration("progress", 0, "print a progress line every interval (e.g. 10s)")
 		find     = flag.String("find", "", "optimization instead of enumeration: edge|balanced|vertex")
@@ -90,15 +95,25 @@ func main() {
 		return
 	}
 
+	// Ctrl-C (or SIGTERM) cancels the run instead of killing the process:
+	// the engines stop at their next amortized check and the partial count
+	// is still printed below. A second signal terminates immediately.
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSignals()
+
 	opts := mbe.Options{
 		Algorithm: a,
 		Tau:       *tau,
 		Threads:   *threads,
 		Ordering:  o,
 		Seed:      *seed,
+		Context:   ctx,
 	}
 	if *tle > 0 {
 		opts.Deadline = time.Now().Add(*tle)
+	}
+	if *maxMem > 0 {
+		opts.MaxMemoryBytes = *maxMem << 20
 	}
 	if *print {
 		opts.OnBiclique = func(L, R []int32) {
@@ -111,16 +126,31 @@ func main() {
 	}
 
 	res, err := mbe.Enumerate(g, opts)
-	if err != nil {
+	if err != nil && !errors.Is(err, mbe.ErrPanic) {
 		fmt.Fprintln(os.Stderr, "mbe:", err)
 		os.Exit(1)
 	}
-	status := "complete"
-	if res.TimedOut {
+	var status string
+	switch res.StopReason {
+	case mbe.StopNone:
+		status = "complete"
+	case mbe.StopDeadline:
 		status = "TLE (partial)"
+	case mbe.StopCanceled:
+		status = "interrupted (partial)"
+	case mbe.StopMemoryBudget:
+		status = "memory budget (partial)"
+	default:
+		status = res.StopReason.String() + " (partial)"
 	}
 	fmt.Printf("algorithm: %s\nmaximal bicliques: %d (%s)\nenumeration time: %v\n",
 		a, res.Count, status, res.Elapsed.Round(time.Millisecond))
+	if err != nil {
+		// A recovered worker panic: the partial count above is valid, but
+		// surface the failure and exit non-zero.
+		fmt.Fprintln(os.Stderr, "mbe:", err)
+		os.Exit(1)
+	}
 }
 
 // startProgress wraps the options' handler with an atomic counter and

@@ -14,10 +14,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/harness"
@@ -38,11 +42,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// SIGINT/SIGTERM cancels the in-flight enumeration (its partial result
+	// still prints) and stops the experiment sequence at the next boundary.
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSignals()
+
 	cfg := harness.Config{
 		Quick:   *quick,
 		TLE:     *tle,
 		Threads: *threads,
 		CSVDir:  *csvDir,
+		Context: ctx,
 	}
 	if *dsets != "" {
 		cfg.Datasets = strings.Split(*dsets, ",")
@@ -59,9 +69,17 @@ func main() {
 				name, strings.Join(harness.ExperimentNames(), ", "))
 			os.Exit(2)
 		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "mbebench: interrupted; remaining experiments skipped")
+			os.Exit(1)
+		}
 		start := time.Now()
 		fmt.Printf("=== %s ===\n", name)
 		if err := runner(cfg); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "mbebench: %s interrupted (results above are partial)\n", name)
+				os.Exit(1)
+			}
 			fmt.Fprintln(os.Stderr, "mbebench:", err)
 			os.Exit(1)
 		}

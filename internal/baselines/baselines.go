@@ -24,12 +24,14 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/order"
+	"repro/internal/tle"
 )
 
 // Algorithm names a competitor implementation.
@@ -57,26 +59,71 @@ type Options struct {
 	// OnBiclique receives every maximal biclique (slices reused; parallel
 	// algorithms may call it concurrently — Run serializes user callbacks).
 	OnBiclique core.Handler
-	// Deadline, when set, stops the run early with Result.TimedOut.
+	// Deadline, when set, stops the run early with
+	// Result.StopReason == core.StopDeadline.
 	Deadline time.Time
+	// Context, if non-nil, stops the run when canceled; partial counts are
+	// returned with StopReason == core.StopCanceled.
+	Context context.Context
+	// MaxMemoryBytes, if positive, is the same soft engine-tracked memory
+	// budget core.Options exposes: slab scratch, the ParMBE hash
+	// representation, GMBE warp workspaces and per-worker mark tables count
+	// against it, and exceeding it stops the run with
+	// StopReason == core.StopMemoryBudget.
+	MaxMemoryBytes int64
+	// FaultHook, if non-nil, is invoked at the baselines' instrumentation
+	// sites (the Site* constants in this package). Same contract as
+	// core.Options.FaultHook: an error simulates an allocation failure, a
+	// panic exercises the panic-isolation path. Test-only.
+	FaultHook func(site string) error
+}
+
+// Instrumentation sites where Options.FaultHook fires.
+const (
+	// SiteSerialNode fires per candidate expansion in the shared serial
+	// skeleton (FMBE, PMBE, ooMBEA).
+	SiteSerialNode = "baselines/serial-node"
+	// SiteParMBETask fires at every ParMBE task start and per candidate
+	// inside its recursion.
+	SiteParMBETask = "baselines/parmbe-task"
+	// SiteGMBETask fires at every GMBE-sim task start and per candidate
+	// expansion inside a warp.
+	SiteGMBETask = "baselines/gmbe-task"
+)
+
+// stopConfig translates Options into the shared stopper conditions.
+func (o *Options) stopConfig() tle.Config {
+	return tle.Config{
+		Deadline:       o.Deadline,
+		Context:        o.Context,
+		MaxMemoryBytes: o.MaxMemoryBytes,
+	}
 }
 
 // Run executes the named competitor algorithm on g. g's V side is used in
 // its natural order except for ooMBEA, which applies its own UC ordering
 // internally (ids reported to the handler are mapped back to g's ids).
+//
+// Lifecycle guarantees match core.Enumerate: deadline, context cancellation
+// and the memory budget stop the run with partial monotone counts and the
+// matching Result.StopReason, and a panic in any algorithm or user handler
+// is recovered into an error wrapping core.ErrPanic with no goroutine
+// leaked.
 func Run(g *graph.Bipartite, alg Algorithm, opts Options) (core.Result, error) {
 	start := time.Now()
+	shared := &tle.Shared{}
 	var res core.Result
+	var err error
 	switch alg {
 	case FMBE:
-		res = runMBEA(g, mbeaConfig{}, opts)
+		res, err = runMBEA(g, mbeaConfig{}, opts, shared)
 	case PMBE:
-		res = runMBEA(g, mbeaConfig{sortPerNode: true, skipDuplicateNodes: true}, opts)
+		res, err = runMBEA(g, mbeaConfig{sortPerNode: true, skipDuplicateNodes: true}, opts, shared)
 	case OOMBEA:
 		perm := order.Permutation(g, order.UnilateralCore, 0)
-		og, err := g.PermuteV(perm)
-		if err != nil {
-			return core.Result{}, fmt.Errorf("baselines: ooMBEA ordering: %w", err)
+		og, oerr := g.PermuteV(perm)
+		if oerr != nil {
+			return core.Result{}, fmt.Errorf("baselines: ooMBEA ordering: %w", oerr)
 		}
 		inner := opts
 		if opts.OnBiclique != nil {
@@ -90,14 +137,15 @@ func Run(g *graph.Bipartite, alg Algorithm, opts Options) (core.Result, error) {
 				h(L, buf)
 			}
 		}
-		res = runMBEA(og, mbeaConfig{}, inner)
+		res, err = runMBEA(og, mbeaConfig{}, inner, shared)
 	case ParMBE:
-		res = runParMBE(g, opts)
+		res, err = runParMBE(g, opts, shared)
 	case GMBE:
-		res = runGMBESim(g, opts)
+		res, err = runGMBESim(g, opts, shared)
 	default:
 		return core.Result{}, fmt.Errorf("baselines: unknown algorithm %q", alg)
 	}
+	res.TimedOut = res.StopReason == core.StopDeadline
 	res.Elapsed = time.Since(start)
-	return res, nil
+	return res, err
 }

@@ -30,7 +30,11 @@ const gmbeOversubscription = 16
 //
 // Not simulated: GPU memory bandwidth and warp-level SIMD; the simulation
 // makes no absolute-speed claims.
-func runGMBESim(g *graph.Bipartite, opts Options) core.Result {
+//
+// Lifecycle: each root task runs under panic recovery; a panic trips the
+// run-wide stop state so every warp breaks out of the work loop, and the
+// first panic is reported as the run's error with counts still merged.
+func runGMBESim(g *graph.Bipartite, opts Options, shared *tle.Shared) (core.Result, error) {
 	threads := opts.Threads
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
@@ -56,52 +60,90 @@ func runGMBESim(g *graph.Bipartite, opts Options) core.Result {
 	}
 
 	var total atomic.Int64
-	var timedOut atomic.Bool
+	var panicOnce sync.Once
+	var panicErr error
 	var next atomic.Int64
 	var wg sync.WaitGroup
+
+	runTask := func(e *gmbeWarp, vp int32) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() { panicErr = core.PanicError("GMBE warp", r) })
+				shared.Trip(tle.Aborted)
+			}
+		}()
+		e.faultStep(SiteGMBETask)
+		if e.stop.Stopped() {
+			return
+		}
+		e.rootTask(vp)
+	}
+
 	for w := 0; w < warps; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e := newGMBEWarp(g, handler, opts)
+			e := newGMBEWarp(g, handler, opts, shared)
 			for {
 				i := int(next.Add(1) - 1)
-				if i >= len(cand) || timedOut.Load() {
+				// Forced poll at the task boundary: a pre-expired deadline
+				// or canceled context stops the warp before any work, and a
+				// sibling trip (panic, budget) ends the loop promptly.
+				if i >= len(cand) || e.stop.Poll() {
 					break
 				}
-				e.rootTask(cand[i])
-				if e.timedOut {
-					timedOut.Store(true)
-				}
+				runTask(e, cand[i])
 			}
 			total.Add(e.count)
 		}()
 	}
 	wg.Wait()
-	return core.Result{Count: total.Load(), TimedOut: timedOut.Load()}
+
+	res := core.Result{Count: total.Load(), StopReason: core.StopReasonOf(shared.Reason())}
+	if panicErr != nil {
+		res.StopReason = core.StopPanic
+		return res, panicErr
+	}
+	return res, nil
 }
 
 // gmbeWarp is one virtual warp with its pre-allocated workspace.
 type gmbeWarp struct {
-	g        *graph.Bipartite
-	handler  core.Handler
-	dl       tle.Deadline
-	count    int64
-	timedOut bool
+	g       *graph.Bipartite
+	handler core.Handler
+	stop    tle.Stopper
+	hook    func(site string) error
+	count   int64
 
 	lBits *bitset.Set // |U|-bit membership bitmap for the current L
 	ids   vset.Slab[int32]
 	th    *twoHop
 }
 
-func newGMBEWarp(g *graph.Bipartite, handler core.Handler, opts Options) *gmbeWarp {
+// faultStep fires the injection hook at site; an error degrades the run
+// like a blown memory budget.
+func (e *gmbeWarp) faultStep(site string) {
+	if e.hook == nil {
+		return
+	}
+	if err := e.hook(site); err != nil {
+		e.stop.Fail(tle.MemoryExceeded)
+	}
+}
+
+func newGMBEWarp(g *graph.Bipartite, handler core.Handler, opts Options, shared *tle.Shared) *gmbeWarp {
 	w := &gmbeWarp{
 		g:       g,
 		handler: handler,
-		dl:      tle.New(opts.Deadline),
+		hook:    opts.FaultHook,
 		lBits:   bitset.New(g.NU()),
 		th:      newTwoHop(g),
 	}
+	w.stop = tle.NewStopper(shared, opts.stopConfig())
+	w.ids.OnGrow = w.stop.AddMem
+	// The bitmap and mark table are part of each warp's pre-allocated
+	// footprint; slab reservations below are charged through OnGrow.
+	w.stop.AddMem(int64(g.NU())/8 + int64(g.NV())*4)
 	// GMBE pre-allocates each thread's worst-case node storage up front;
 	// mirror that by reserving slab space for the widest possible node
 	// (candidates + excluded + R all bounded by |V|, L by Δ(V)).
@@ -152,7 +194,7 @@ func (e *gmbeWarp) rootTask(vp int32) {
 // classification). P/Q semantics as elsewhere; all intersections use the
 // L-membership bitmap.
 func (e *gmbeWarp) search(L, R, P, Q []int32, pending []int32) {
-	if e.timedOut {
+	if e.stop.Stopped() {
 		return
 	}
 	// Load L into the bitmap for this node's classifications.
@@ -201,10 +243,10 @@ func (e *gmbeWarp) search(L, R, P, Q []int32, pending []int32) {
 
 	// Expand children: traverse each remaining candidate.
 	for i := 0; i < np; i++ {
-		if e.dl.Hit() {
-			e.timedOut = true
+		if e.stop.Hit() {
 			return
 		}
+		e.faultStep(SiteGMBETask)
 		vp := pq[i]
 		cmark := e.ids.Mark()
 		lq := e.ids.Alloc(len(L))

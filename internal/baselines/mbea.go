@@ -28,26 +28,50 @@ type mbeaConfig struct {
 // backtracking with an explicit excluded set Q for the maximality check,
 // all set intersections against global adjacency.
 type mbeaEngine struct {
-	g        *graph.Bipartite
-	cfg      mbeaConfig
-	handler  core.Handler
-	dl       tle.Deadline
-	count    int64
-	timedOut bool
-	ids      vset.Slab[int32]
+	g       *graph.Bipartite
+	cfg     mbeaConfig
+	handler core.Handler
+	stop    tle.Stopper
+	hook    func(site string) error
+	count   int64
+	ids     vset.Slab[int32]
 }
 
-func runMBEA(g *graph.Bipartite, cfg mbeaConfig, opts Options) core.Result {
-	e := &mbeaEngine{g: g, cfg: cfg, handler: opts.OnBiclique, dl: tle.New(opts.Deadline)}
+// faultStep fires the injection hook at site; a returned error is treated
+// as a failed allocation and degrades the run like a blown memory budget.
+func (e *mbeaEngine) faultStep(site string) {
+	if e.hook == nil {
+		return
+	}
+	if err := e.hook(site); err != nil {
+		e.stop.Fail(tle.MemoryExceeded)
+	}
+}
+
+// runMBEA drives the serial skeleton under panic isolation: a panic
+// anywhere in the recursion or a user handler is recovered into an error
+// wrapping core.ErrPanic, with the count gathered so far still reported.
+func runMBEA(g *graph.Bipartite, cfg mbeaConfig, opts Options, shared *tle.Shared) (res core.Result, err error) {
+	e := &mbeaEngine{g: g, cfg: cfg, handler: opts.OnBiclique, hook: opts.FaultHook}
+	e.stop = tle.NewStopper(shared, opts.stopConfig())
+	e.ids.OnGrow = e.stop.AddMem
+	e.stop.AddMem(int64(g.NV()) * 4) // two-hop mark table
+	defer func() {
+		res = core.Result{Count: e.count, StopReason: core.StopReasonOf(e.stop.Reason())}
+		if r := recover(); r != nil {
+			res.StopReason = core.StopPanic
+			err = core.PanicError("serial baseline", r)
+		}
+	}()
 	th := newTwoHop(g)
 	for vp := int32(0); vp < int32(g.NV()); vp++ {
 		if g.DegV(vp) == 0 {
 			continue
 		}
-		if e.dl.Hit() {
-			e.timedOut = true
+		if e.stop.Hit() {
 			break
 		}
+		e.faultStep(SiteSerialNode)
 		lq := g.NeighborsOfV(vp) // L' = U ∩ N(v')
 		th.gather(vp, lq)
 
@@ -93,13 +117,13 @@ func runMBEA(g *graph.Bipartite, cfg mbeaConfig, opts Options) core.Result {
 		}
 		e.ids.Release(mark)
 	}
-	return core.Result{Count: e.count, TimedOut: e.timedOut}
+	return res, nil
 }
 
 // search processes node (L, R, P, Q): P candidates, Q excluded. Both hold
 // V ids; every vertex in Q has a non-empty intersection with L.
 func (e *mbeaEngine) search(L, R, P, Q []int32) {
-	if e.timedOut {
+	if e.stop.Stopped() {
 		return
 	}
 	g := e.g
@@ -115,10 +139,10 @@ func (e *mbeaEngine) search(L, R, P, Q []int32) {
 
 	var prevL []int32
 	for i := 0; i < len(P); i++ {
-		if e.dl.Hit() {
-			e.timedOut = true
+		if e.stop.Hit() {
 			return
 		}
+		e.faultStep(SiteSerialNode)
 		vp := P[i]
 		mark := e.ids.Mark()
 

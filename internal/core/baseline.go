@@ -9,7 +9,7 @@ package core
 // L and cand are sorted ascending; R is in traversal order. All slices are
 // owned by the caller and only read here.
 func (e *engine) searchGlobal(L, R []int32, cand []int32, depth int) {
-	if e.timedOut {
+	if e.stop.Stopped() {
 		return
 	}
 	if e.variant == BIT && len(L) <= e.tau && len(cand) > 0 {
@@ -20,10 +20,10 @@ func (e *engine) searchGlobal(L, R []int32, cand []int32, depth int) {
 
 	g := e.g
 	for i := 0; i < len(cand); i++ {
-		if e.dl.Hit() {
-			e.timedOut = true
+		if e.stop.Hit() {
 			return
 		}
+		e.faultStep(SiteNode)
 		vp := cand[i]
 		mark := e.ids.Mark()
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/order"
+	"repro/internal/tle"
 )
 
 func benchGraph(b *testing.B) *graph.Bipartite {
@@ -54,7 +55,7 @@ func BenchmarkTauAblation(b *testing.B) {
 // from local-neighborhood data (Algorithm 2 line 5).
 func BenchmarkBitmapCreation(b *testing.B) {
 	g := benchGraph(b)
-	e := newEngine(g, Options{Variant: Ada})
+	e := newEngine(g, Options{Variant: Ada}, &tle.Shared{})
 	// A synthetic node: 48 L vertices, 200 candidates with ~16 local nbrs.
 	L := make([]int32, 48)
 	for i := range L {

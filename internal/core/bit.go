@@ -21,6 +21,16 @@ type bitCG struct {
 	masks     []uint64 // len(vids)*width packed masks
 	nCand     int      // vids[0:nCand] are the creation node's candidates
 	framesBuf []uint64 // per-depth L_q scratch (depth ≤ |L*|), width words each
+
+	// charge, if non-nil, accounts retained-capacity growth (bytes) to the
+	// run's memory gauge.
+	charge func(bytes int64)
+}
+
+func (cg *bitCG) charged(oldCap, newCap int) {
+	if cg.charge != nil && newCap > oldCap {
+		cg.charge(int64(newCap-oldCap) * 8)
+	}
 }
 
 // reset prepares the pooled CG for a new subtree: width and L* ids set,
@@ -31,6 +41,7 @@ func (cg *bitCG) reset(width int, lids []int32, nMasks int) {
 	cg.vids = cg.vids[:0]
 	need := nMasks * width
 	if cap(cg.masks) < need {
+		cg.charged(cap(cg.masks), need)
 		cg.masks = make([]uint64, need)
 	} else {
 		cg.masks = cg.masks[:need]
@@ -40,9 +51,11 @@ func (cg *bitCG) reset(width int, lids []int32, nMasks int) {
 
 // growMask appends storage for one more zeroed mask (global builder path).
 func (cg *bitCG) growMask() {
+	before := cap(cg.masks)
 	for i := 0; i < cg.width; i++ {
 		cg.masks = append(cg.masks, 0)
 	}
+	cg.charged(before, cap(cg.masks))
 }
 
 func (cg *bitCG) mask(k int32) bitset.Mask {
@@ -51,9 +64,11 @@ func (cg *bitCG) mask(k int32) bitset.Mask {
 
 func (cg *bitCG) frame(d int) bitset.Mask {
 	need := (d + 1) * cg.width
+	before := cap(cg.framesBuf)
 	for cap(cg.framesBuf) < need {
 		cg.framesBuf = append(cg.framesBuf[:cap(cg.framesBuf)], 0)
 	}
+	cg.charged(before, cap(cg.framesBuf))
 	cg.framesBuf = cg.framesBuf[:cap(cg.framesBuf)]
 	return bitset.Mask(cg.framesBuf[d*cg.width : (d+1)*cg.width])
 }
@@ -83,6 +98,7 @@ func maskIntersects(a, b bitset.Mask) bool {
 // live excluded set, and each mask is the vertex's local neighborhood
 // re-encoded as bits.
 func (e *engine) buildBitCGFromLN(L []int32, candIDs []int32, candNbrs [][]int32, exclIDs []int32, exclNbrs [][]int32) *bitCG {
+	e.faultStep(SiteBitmap)
 	epoch := e.stampEpoch()
 	for pos, u := range L {
 		e.uMark[u] = epoch
@@ -127,6 +143,7 @@ func (e *engine) buildBitCGFromLN(L []int32, candIDs []int32, candNbrs [][]int32
 // registered first so candidate order is preserved, and every other member
 // of V_bit forming the excluded set.
 func (e *engine) buildBitCGGlobal(L, R, cand []int32) *bitCG {
+	e.faultStep(SiteBitmap)
 	epoch := e.stampEpoch()
 	for pos, u := range L {
 		e.uMark[u] = epoch
@@ -204,13 +221,12 @@ func (e *engine) searchBitRoot(cg *bitCG, R []int32) {
 // plain uint64 indexed directly in cg.masks, set intersection is a single
 // AND, the subset test a single AND+CMP, and L_q lives in a register.
 func (e *engine) searchBit1(cg *bitCG, lp uint64, R []int32, cand, excl []int32) {
-	if e.timedOut {
+	if e.stop.Stopped() {
 		return
 	}
 	masks := cg.masks
 	for i := 0; i < len(cand); i++ {
-		if e.dl.Hit() {
-			e.timedOut = true
+		if e.stop.Hit() {
 			return
 		}
 		lq := lp & masks[cand[i]]
@@ -325,12 +341,11 @@ func (e *engine) emitBit1(cg *bitCG, lq uint64, R []int32) {
 // intersection is a width-word AND. The maximality test on line 29 is
 // implemented as the subset check (L_q & N_bit(v”)) == L_q.
 func (e *engine) searchBit(cg *bitCG, depth int, lp bitset.Mask, R []int32, cand, excl []int32) {
-	if e.timedOut {
+	if e.stop.Stopped() {
 		return
 	}
 	for i := 0; i < len(cand); i++ {
-		if e.dl.Hit() {
-			e.timedOut = true
+		if e.stop.Hit() {
 			return
 		}
 		vk := cand[i]

@@ -23,6 +23,15 @@ func randomBipartite(t testing.TB, seed int64, nu, nv, m int) *graph.Bipartite {
 	return g
 }
 
+func mustAdj(t testing.TB, nu int, rows [][]int32) *graph.Bipartite {
+	t.Helper()
+	g, err := graph.FromAdjacency(nu, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
 func keysEqual(a, b []string) bool {
 	if len(a) != len(b) {
 		return false
@@ -120,23 +129,23 @@ func TestCrossValidationRandomGraphs(t *testing.T) {
 
 func TestCrossValidationDenseAndStructured(t *testing.T) {
 	cases := map[string]*graph.Bipartite{
-		"complete_4x4": graph.MustFromAdjacency(4, [][]int32{
+		"complete_4x4": mustAdj(t, 4, [][]int32{
 			{0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3},
 		}),
-		"star": graph.MustFromAdjacency(6, [][]int32{
+		"star": mustAdj(t, 6, [][]int32{
 			{0}, {0}, {0, 1, 2, 3, 4, 5},
 		}),
-		"matching": graph.MustFromAdjacency(5, [][]int32{
+		"matching": mustAdj(t, 5, [][]int32{
 			{0}, {1}, {2}, {3}, {4},
 		}),
-		"chain": graph.MustFromAdjacency(5, [][]int32{
+		"chain": mustAdj(t, 5, [][]int32{
 			{0, 1}, {1, 2}, {2, 3}, {3, 4},
 		}),
-		"isolated_vs": graph.MustFromAdjacency(4, [][]int32{
+		"isolated_vs": mustAdj(t, 4, [][]int32{
 			{}, {0, 1}, {}, {2},
 		}),
-		"one_edge": graph.MustFromAdjacency(1, [][]int32{{0}}),
-		"crossbars": graph.MustFromAdjacency(8, [][]int32{
+		"one_edge": mustAdj(t, 1, [][]int32{{0}}),
+		"crossbars": mustAdj(t, 8, [][]int32{
 			{0, 1, 2, 3}, {2, 3, 4, 5}, {4, 5, 6, 7}, {0, 1, 6, 7}, {0, 2, 4, 6},
 		}),
 	}

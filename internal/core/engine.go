@@ -5,7 +5,20 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/tle"
 	"repro/internal/vset"
+)
+
+// Fault-injection site names (Options.FaultHook); see internal/faultinject.
+const (
+	// SiteRoot fires once per root candidate, in every root loop.
+	SiteRoot = "core/root"
+	// SiteNode fires once per searchLN child-node expansion.
+	SiteNode = "core/node"
+	// SiteBitmap fires once per bitmap-CG build.
+	SiteBitmap = "core/bitmap"
+	// SiteSpawn fires once per subtree detached to the parallel queue.
+	SiteSpawn = "core/spawn"
 )
 
 // engine holds all per-run (or per-worker, in the parallel case) state for
@@ -16,10 +29,10 @@ type engine struct {
 	variant Variant
 	tau     int
 	handler Handler
-	dl      deadline
+	stop    tle.Stopper
+	hook    func(site string) error // Options.FaultHook
 
-	count    int64
-	timedOut bool
+	count int64
 
 	collect bool
 	metrics Metrics
@@ -56,18 +69,25 @@ type engine struct {
 	skipSubtree func(lenL, lenR, lenC int) bool
 }
 
-func newEngine(g *graph.Bipartite, opts Options) *engine {
+// newEngine builds one enumeration engine (the whole run when serial, one
+// worker when parallel). shared carries the run's stop state and memory
+// gauge; every worker of a run must receive the same *tle.Shared.
+func newEngine(g *graph.Bipartite, opts Options, shared *tle.Shared) *engine {
 	e := &engine{
 		g:       g,
 		variant: opts.Variant,
 		tau:     opts.tau(),
 		handler: opts.OnBiclique,
-		dl:      newDeadline(opts.Deadline),
+		stop:    tle.NewStopper(shared, opts.stopConfig()),
+		hook:    opts.FaultHook,
 		collect: opts.Metrics != nil,
 	}
 	e.skipChild = opts.SkipChild
 	e.skipSubtree = opts.SkipSubtree
 	e.padBits = opts.PadBitmaps
+	e.ids.OnGrow = e.chargeMem
+	e.hdrs.OnGrow = e.chargeMem
+	e.cg.charge = e.chargeMem
 	e.uMark = make([]int32, g.NU())
 	e.uVal = make([]int32, g.NU())
 	e.vMark = make([]int32, g.NV())
@@ -82,7 +102,27 @@ func newEngine(g *graph.Bipartite, opts Options) *engine {
 	for i := range e.allU {
 		e.allU[i] = int32(i)
 	}
+	// Per-worker stamp tables and the root candidate list: 4 bytes each,
+	// three |U|-sized and two |V|-sized arrays.
+	e.chargeMem(int64(3*g.NU()+2*g.NV()) * 4)
 	return e
+}
+
+// chargeMem accounts engine-side allocation growth against the run's soft
+// memory budget.
+func (e *engine) chargeMem(bytes int64) { e.stop.AddMem(bytes) }
+
+// faultStep runs the test-only fault hook at an instrumentation site. An
+// injected allocation failure degrades the worker exactly like an
+// exhausted memory budget; injected panics propagate into the engine's
+// panic-isolation path.
+func (e *engine) faultStep(site string) {
+	if e.hook == nil {
+		return
+	}
+	if err := e.hook(site); err != nil {
+		e.stop.Fail(tle.MemoryExceeded)
+	}
 }
 
 // run executes the configured variant from the root node (U, ∅, V).
@@ -153,10 +193,10 @@ func (e *engine) runGlobalRoot() {
 		if g.DegV(vp) == 0 {
 			continue
 		}
-		if e.dl.Hit() {
-			e.timedOut = true
+		if e.stop.Hit() {
 			return
 		}
+		e.faultStep(SiteRoot)
 		lq := g.NeighborsOfV(vp) // L' = U ∩ N(v')
 		if e.skipChild != nil && e.skipChild(len(lq)) {
 			continue
@@ -216,15 +256,16 @@ func (e *engine) runLNRoot() {
 		e.metrics.observeNode(len(e.allU), nv)
 	}
 	pruned := make([]bool, nv)
+	e.chargeMem(int64(nv))
 	var rs rootScratch
 	for vp := int32(0); vp < int32(nv); vp++ {
 		if g.DegV(vp) == 0 || pruned[vp] {
 			continue
 		}
-		if e.dl.Hit() {
-			e.timedOut = true
+		if e.stop.Hit() {
 			return
 		}
+		e.faultStep(SiteRoot)
 		lq := g.NeighborsOfV(vp)
 		if e.skipChild != nil && e.skipChild(len(lq)) {
 			continue

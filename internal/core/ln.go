@@ -24,7 +24,7 @@ package core
 // with |L| ≤ τ and a non-empty candidate set switches the whole subtree to
 // the bitwise procedure (Algorithm 2, lines 4-7).
 func (e *engine) searchLN(L, R []int32, candIDs []int32, candNbrs [][]int32, exclIDs []int32, exclNbrs [][]int32, depth int) {
-	if e.timedOut {
+	if e.stop.Stopped() {
 		return
 	}
 	if e.variant == Ada && len(L) <= e.tau && len(candIDs) > 0 {
@@ -38,10 +38,10 @@ func (e *engine) searchLN(L, R []int32, candIDs []int32, candNbrs [][]int32, exc
 		if vp < 0 { // pruned by rule 3 at this node
 			continue
 		}
-		if e.dl.Hit() {
-			e.timedOut = true
+		if e.stop.Hit() {
 			return
 		}
+		e.faultStep(SiteNode)
 		// Rule 2: L_q is exactly the cached local neighborhood of v'.
 		lq := candNbrs[i]
 		if e.skipChild != nil && e.skipChild(len(lq)) {
@@ -171,6 +171,23 @@ type detachedNode struct {
 	// isRoot marks the seed task: the receiving worker runs the two-hop
 	// root loop instead of searchLN.
 	isRoot bool
+}
+
+// memBytes approximates the node's heap footprint for the run's memory
+// gauge: int32 payloads plus slice headers and the struct itself. Detached
+// nodes are short-lived but the queue can hold threads*64 of them, so they
+// count toward the soft budget; the accounting is monotone (never
+// refunded), matching the rest of the engine-side gauge.
+func (n *detachedNode) memBytes() int64 {
+	ints := len(n.L) + len(n.R) + len(n.candIDs) + len(n.exclIDs)
+	for _, nb := range n.candNbrs {
+		ints += len(nb)
+	}
+	for _, nb := range n.exclNbrs {
+		ints += len(nb)
+	}
+	headers := len(n.candNbrs) + len(n.exclNbrs)
+	return int64(ints)*4 + int64(headers)*24 + 96
 }
 
 // detachNode deep-copies node state out of the slab so another worker can

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/tle"
 )
 
 // spawnMaxDepth bounds how deep in the enumeration tree nodes may still be
@@ -20,13 +21,23 @@ const spawnMaxDepth = 8
 // full queue means the producing worker just recurses inline), so the pool
 // can never deadlock, and sibling-generation semantics are identical to the
 // serial engine, so the enumerated biclique set is exactly the same.
-func enumerateParallel(g *graph.Bipartite, opts Options) Result {
+//
+// Lifecycle: every task runs under panic recovery. A panicking task trips
+// the run's shared stop state (tle.Aborted), so sibling workers wind down
+// at their next amortized check; the panicking worker itself stays alive to
+// keep draining (and discarding) queued tasks, which guarantees the pending
+// count reaches zero, the queue closes, and no goroutine leaks. The first
+// panic is reported as the run's error; counts and metrics accumulated by
+// every worker — including the one that panicked — are still merged, so the
+// caller gets monotone partial results.
+func enumerateParallel(g *graph.Bipartite, opts Options, shared *tle.Shared) (Result, error) {
 	threads := opts.Threads
 	queue := make(chan *detachedNode, threads*64)
 	var pending sync.WaitGroup // outstanding tasks
 	var workers sync.WaitGroup
 	var total atomic.Int64
-	var timedOut atomic.Bool
+	var panicOnce sync.Once
+	var panicErr error
 
 	// Serialize user callbacks; the engines themselves never share state.
 	handler := opts.OnBiclique
@@ -41,19 +52,50 @@ func enumerateParallel(g *graph.Bipartite, opts Options) Result {
 	}
 	workerOpts := opts
 	workerOpts.OnBiclique = handler
+	fault := opts.FaultHook
+
+	// runTask executes one queued task with panic isolation. pending.Done
+	// runs on every exit path — normal, skipped, or panicking — so the
+	// queue-closing goroutine can never hang on a crashed worker.
+	runTask := func(e *engine, n *detachedNode) {
+		defer pending.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() { panicErr = panicError("ParAdaMBE worker", r) })
+				shared.Trip(tle.Aborted)
+			}
+		}()
+		// Forced poll at the task boundary: observes sibling trips (drain
+		// without work) and bounds deadline/cancel latency to one task.
+		if e.stop.Poll() {
+			return
+		}
+		if n.isRoot {
+			e.runLNRoot()
+		} else {
+			e.searchLN(n.L, n.R, n.candIDs, n.candNbrs, n.exclIDs, n.exclNbrs, n.depth)
+		}
+	}
 
 	var metricsMu sync.Mutex
 	for w := 0; w < threads; w++ {
 		workers.Add(1)
 		go func() {
 			defer workers.Done()
-			e := newEngine(g, workerOpts)
+			e := newEngine(g, workerOpts, shared)
 			e.spawn = func(L, R, candIDs []int32, candNbrs [][]int32, exclIDs []int32, exclNbrs [][]int32, depth int) bool {
 				if len(queue) >= cap(queue) {
 					return false // cheap pre-check before paying the copy
 				}
+				if fault != nil {
+					if err := fault(SiteSpawn); err != nil {
+						e.stop.Fail(tle.MemoryExceeded)
+						return false
+					}
+				}
 				n := detachNode(L, R, candIDs, candNbrs, exclIDs, exclNbrs)
 				n.depth = depth
+				e.stop.AddMem(n.memBytes())
 				pending.Add(1)
 				select {
 				case queue <- n:
@@ -64,19 +106,7 @@ func enumerateParallel(g *graph.Bipartite, opts Options) Result {
 				}
 			}
 			for n := range queue {
-				if timedOut.Load() {
-					pending.Done()
-					continue
-				}
-				if n.isRoot {
-					e.runLNRoot()
-				} else {
-					e.searchLN(n.L, n.R, n.candIDs, n.candNbrs, n.exclIDs, n.exclNbrs, n.depth)
-				}
-				if e.timedOut {
-					timedOut.Store(true)
-				}
-				pending.Done()
+				runTask(e, n)
 			}
 			total.Add(e.count)
 			if opts.Metrics != nil {
@@ -97,5 +127,10 @@ func enumerateParallel(g *graph.Bipartite, opts Options) Result {
 	}()
 	workers.Wait()
 
-	return Result{Count: total.Load(), TimedOut: timedOut.Load()}
+	res := Result{Count: total.Load(), StopReason: stopReasonFrom(shared.Reason())}
+	if panicErr != nil {
+		res.StopReason = StopPanic
+		return res, panicErr
+	}
+	return res, nil
 }

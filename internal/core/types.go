@@ -10,11 +10,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/tle"
 )
 
 // Variant selects which enumeration algorithm runs.
@@ -75,9 +78,29 @@ type Options struct {
 	// OnBiclique, if non-nil, is called for every maximal biclique.
 	OnBiclique Handler
 	// Deadline, if non-zero, makes the run stop (reporting partial counts
-	// and Result.TimedOut) once the deadline passes. This implements the
-	// paper's 48-hour TLE protocol at laptop scale (Fig. 9b).
+	// and Result.StopReason == StopDeadline) once the deadline passes.
+	// This implements the paper's 48-hour TLE protocol at laptop scale
+	// (Fig. 9b).
 	Deadline time.Time
+	// Context, if non-nil, stops the run when it is canceled: the run
+	// returns partial monotone counts with StopReason == StopCanceled
+	// within one amortized check quantum (tle.CheckEvery nodes).
+	Context context.Context
+	// MaxMemoryBytes, if positive, is a soft budget on engine-tracked
+	// memory — slab scratch, bitmap-CG storage, detached parallel nodes
+	// and per-worker stamp tables. When the run-wide gauge exceeds the
+	// budget, the run degrades like a deadline stop: partial counts are
+	// returned with StopReason == StopMemoryBudget. Accounting is
+	// engine-side and approximate; it bounds the dominant, dataset-driven
+	// allocations, not every byte of Go runtime overhead.
+	MaxMemoryBytes int64
+	// FaultHook, if non-nil, is invoked at engine instrumentation sites
+	// (the Site* constants). A returned error simulates an allocation
+	// failure: the worker degrades exactly as if the memory budget were
+	// exhausted. Panics from the hook exercise the panic-isolation path.
+	// Test-only; see internal/faultinject. Must be safe for concurrent
+	// calls when Threads > 1.
+	FaultHook func(site string) error
 	// Metrics, if non-nil, gathers the instrumentation behind Figures 4,
 	// 5 and 10 (CG-size histogram, inside/outside-CG vertex accesses,
 	// non-maximal node counts, small/large-node time split).
@@ -117,11 +140,82 @@ func (o *Options) tau() int {
 	return o.Tau
 }
 
+// StopReason says why an enumeration run returned before exhausting the
+// search tree. StopNone means the run completed.
+type StopReason uint8
+
+const (
+	// StopNone: the run enumerated the full tree.
+	StopNone StopReason = iota
+	// StopDeadline: Options.Deadline passed (the paper's TLE protocol).
+	StopDeadline
+	// StopCanceled: Options.Context was canceled.
+	StopCanceled
+	// StopMemoryBudget: engine-tracked memory exceeded
+	// Options.MaxMemoryBytes (or a fault hook simulated an allocation
+	// failure).
+	StopMemoryBudget
+	// StopPanic: a worker panicked; Enumerate recovered, returned partial
+	// results, and reported the panic as an error wrapping ErrPanic.
+	StopPanic
+)
+
+// String names the stop reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopNone:
+		return "none"
+	case StopDeadline:
+		return "deadline"
+	case StopCanceled:
+		return "canceled"
+	case StopMemoryBudget:
+		return "memory-budget"
+	case StopPanic:
+		return "panic"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// StopReasonOf maps a tle.Reason observed by a stopper onto the Result
+// vocabulary. Exported for sibling enumeration packages (the competitor
+// baselines) that share the stopper infrastructure and report through
+// core.Result.
+func StopReasonOf(r tle.Reason) StopReason { return stopReasonFrom(r) }
+
+// stopReasonFrom maps a tle.Reason observed by the stoppers onto the
+// Result vocabulary. tle.Aborted means a sibling worker panicked, so the
+// run as a whole stopped because of that panic.
+func stopReasonFrom(r tle.Reason) StopReason {
+	switch r {
+	case tle.DeadlineExceeded:
+		return StopDeadline
+	case tle.Canceled:
+		return StopCanceled
+	case tle.MemoryExceeded:
+		return StopMemoryBudget
+	case tle.Aborted:
+		return StopPanic
+	default:
+		return StopNone
+	}
+}
+
 // Result summarizes an enumeration run.
 type Result struct {
-	// Count is the number of maximal bicliques reported.
+	// Count is the number of maximal bicliques reported. It is monotone:
+	// every biclique counted was also delivered to the handler, whatever
+	// stopped the run.
 	Count int64
-	// TimedOut is set when the run stopped at Options.Deadline.
+	// StopReason, when not StopNone, reports why the run stopped before
+	// completing; Count and any gathered Metrics are still valid partial
+	// results.
+	StopReason StopReason
+	// TimedOut mirrors StopReason == StopDeadline.
+	//
+	// Deprecated: use StopReason; TimedOut is kept as an alias for
+	// callers of the original deadline-only API.
 	TimedOut bool
 	// Elapsed is the wall-clock enumeration time (graph loading excluded,
 	// as in §IV-A).
@@ -206,8 +300,39 @@ func (m *Metrics) merge(o *Metrics) {
 // ErrBadOptions reports invalid enumeration options.
 var ErrBadOptions = errors.New("core: invalid options")
 
+// ErrPanic reports that an enumeration worker panicked. Enumerate
+// recovers the panic, winds the run down without leaking goroutines, and
+// returns partial results alongside an error wrapping ErrPanic.
+var ErrPanic = errors.New("core: panic during enumeration")
+
+// PanicError wraps a recovered panic value (with its stack) as an error
+// wrapping ErrPanic. Exported for sibling enumeration packages that apply
+// the same panic-isolation discipline.
+func PanicError(where string, r any) error {
+	return fmt.Errorf("%w in %s: %v\n%s", ErrPanic, where, r, debug.Stack())
+}
+
+// panicError is the package-local spelling of PanicError.
+func panicError(where string, r any) error { return PanicError(where, r) }
+
+// stopConfig translates enumeration options into the stopper conditions.
+func (o *Options) stopConfig() tle.Config {
+	return tle.Config{
+		Deadline:       o.Deadline,
+		Context:        o.Context,
+		MaxMemoryBytes: o.MaxMemoryBytes,
+	}
+}
+
 // Enumerate runs the selected algorithm over g and returns the result.
 // g's V side must already be in the desired processing order.
+//
+// Lifecycle guarantees: the run stops promptly when the deadline passes,
+// the context is canceled, or the soft memory budget is exceeded —
+// Result.StopReason says which — and a panic in any engine or worker is
+// recovered into an error wrapping ErrPanic. In every case partial
+// monotone counts (and Metrics gathered so far) are returned and no
+// goroutines are leaked.
 func Enumerate(g *graph.Bipartite, opts Options) (Result, error) {
 	if opts.Tau < 0 || opts.Tau > MaxTau {
 		return Result{}, fmt.Errorf("%w: tau %d out of range (0, %d]", ErrBadOptions, opts.Tau, MaxTau)
@@ -225,17 +350,34 @@ func Enumerate(g *graph.Bipartite, opts Options) (Result, error) {
 	}
 
 	start := time.Now()
+	shared := &tle.Shared{}
 	var res Result
+	var err error
 	if opts.Threads > 1 {
-		res = enumerateParallel(g, opts)
+		res, err = enumerateParallel(g, opts, shared)
 	} else {
-		e := newEngine(g, opts)
-		e.run()
-		res = Result{Count: e.count, TimedOut: e.timedOut}
+		res, err = enumerateSerial(g, opts, shared)
+	}
+	res.TimedOut = res.StopReason == StopDeadline
+	res.Elapsed = time.Since(start)
+	return res, err
+}
+
+// enumerateSerial runs one engine with panic isolation: a panic anywhere
+// in the engine (or a user handler) becomes an error return carrying the
+// partial count and metrics gathered so far.
+func enumerateSerial(g *graph.Bipartite, opts Options, shared *tle.Shared) (res Result, err error) {
+	e := newEngine(g, opts, shared)
+	defer func() {
 		if opts.Metrics != nil {
 			opts.Metrics.merge(&e.metrics)
 		}
-	}
-	res.Elapsed = time.Since(start)
+		res = Result{Count: e.count, StopReason: stopReasonFrom(e.stop.Reason())}
+		if r := recover(); r != nil {
+			res.StopReason = StopPanic
+			err = panicError("serial engine", r)
+		}
+	}()
+	e.run()
 	return res, nil
 }

@@ -1,9 +1,6 @@
 package core
 
 import (
-	"time"
-
-	"repro/internal/tle"
 	"repro/internal/vset"
 )
 
@@ -19,7 +16,3 @@ const gallopFactor = 16
 
 func intersectLen(a, b []int32) int { return vset.IntersectLen(a, b) }
 func isSubset(a, b []int32) bool    { return vset.IsSubset(a, b) }
-
-type deadline = tle.Deadline
-
-func newDeadline(at time.Time) deadline { return tle.New(at) }

@@ -1,0 +1,162 @@
+// Package faultinject provides seeded, deterministic fault injection for
+// the enumeration engines' run-lifecycle tests. Engines expose a FaultHook
+// option that is invoked at named instrumentation sites ("core/node",
+// "baselines/parmbe-task", …); an Injector arms those sites with panics,
+// delays, or simulated allocation failures keyed to the site's visit
+// count, so "panic a ParAdaMBE worker on the 100th node it expands" is a
+// reproducible scenario even under parallel execution.
+//
+// The package also ships a goroutine-leak checker (CheckGoroutines) used
+// by the lifecycle tests to prove that worker pools never leak, whatever
+// faults fire mid-run.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is what an armed site does when its trigger fires.
+type Fault uint8
+
+const (
+	// FaultPanic panics with a *PanicValue.
+	FaultPanic Fault = iota
+	// FaultDelay sleeps for the armed duration.
+	FaultDelay
+	// FaultAllocFail returns ErrAllocFail; engines degrade exactly as if
+	// the run's memory budget were exhausted.
+	FaultAllocFail
+)
+
+// ErrAllocFail is the simulated allocation failure returned by an armed
+// FaultAllocFail site.
+var ErrAllocFail = errors.New("faultinject: simulated allocation failure")
+
+// PanicValue is the value an injected panic carries, so recovery paths and
+// tests can recognize synthetic faults.
+type PanicValue struct {
+	Site  string
+	Visit uint64
+}
+
+func (p *PanicValue) String() string {
+	return fmt.Sprintf("faultinject: injected panic at %s (visit %d)", p.Site, p.Visit)
+}
+
+// rule arms one site. A rule fires on visit number `at`, and then — when
+// every > 0 — on every `every`-th visit after that.
+type rule struct {
+	kind   Fault
+	at     uint64
+	every  uint64
+	delay  time.Duration
+	visits atomic.Uint64
+}
+
+func (r *rule) fires(n uint64) bool {
+	if n < r.at {
+		return false
+	}
+	if n == r.at {
+		return true
+	}
+	return r.every > 0 && (n-r.at)%r.every == 0
+}
+
+// Injector is a deterministic fault plan keyed by site name. Arm sites
+// first (PanicAt, DelayEvery, FailAllocAt, …), then install Hook() into
+// the engine options; arming after the run has started is a data race and
+// is not supported. Visit counters are atomic, so one Injector may serve
+// any number of worker goroutines.
+type Injector struct {
+	seed  uint64
+	rules map[string]*rule
+}
+
+// New returns an empty Injector whose seeded helpers (PanicWithin) derive
+// trigger points from seed.
+func New(seed int64) *Injector {
+	return &Injector{seed: uint64(seed), rules: make(map[string]*rule)}
+}
+
+func (in *Injector) arm(site string, r *rule) {
+	in.rules[site] = r
+}
+
+// PanicAt arms site to panic on exactly its visit-th invocation (1-based).
+func (in *Injector) PanicAt(site string, visit uint64) {
+	in.arm(site, &rule{kind: FaultPanic, at: max(visit, 1)})
+}
+
+// PanicWithin arms site to panic at a seed-derived visit in [1, window].
+func (in *Injector) PanicWithin(site string, window uint64) {
+	if window == 0 {
+		window = 1
+	}
+	in.arm(site, &rule{kind: FaultPanic, at: 1 + in.mix(site)%window})
+}
+
+// DelayEvery arms site to sleep d on every every-th invocation.
+func (in *Injector) DelayEvery(site string, every uint64, d time.Duration) {
+	if every == 0 {
+		every = 1
+	}
+	in.arm(site, &rule{kind: FaultDelay, at: every, every: every, delay: d})
+}
+
+// FailAllocAt arms site to report a simulated allocation failure on its
+// visit-th invocation and every invocation after it (a blown budget does
+// not un-blow).
+func (in *Injector) FailAllocAt(site string, visit uint64) {
+	in.arm(site, &rule{kind: FaultAllocFail, at: max(visit, 1), every: 1})
+}
+
+// Visits returns how many times site has been reached so far.
+func (in *Injector) Visits(site string) uint64 {
+	if r, ok := in.rules[site]; ok {
+		return r.visits.Load()
+	}
+	return 0
+}
+
+// Hook returns the function to install as an engine FaultHook. Unarmed
+// sites return nil immediately; armed sites count the visit and fire their
+// fault when triggered.
+func (in *Injector) Hook() func(site string) error {
+	return func(site string) error {
+		r, ok := in.rules[site]
+		if !ok {
+			return nil
+		}
+		n := r.visits.Add(1)
+		if !r.fires(n) {
+			return nil
+		}
+		switch r.kind {
+		case FaultPanic:
+			panic(&PanicValue{Site: site, Visit: n})
+		case FaultDelay:
+			time.Sleep(r.delay)
+			return nil
+		case FaultAllocFail:
+			return fmt.Errorf("%w (site %s, visit %d)", ErrAllocFail, site, n)
+		}
+		return nil
+	}
+}
+
+// mix hashes the site name into the seed (splitmix64 over FNV-mixed
+// bytes) so different sites armed from one seed get independent triggers.
+func (in *Injector) mix(site string) uint64 {
+	x := in.seed ^ 0x9e3779b97f4a7c15
+	for i := 0; i < len(site); i++ {
+		x = (x ^ uint64(site[i])) * 0xbf58476d1ce4e5b9
+	}
+	x ^= x >> 30
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,116 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestUnarmedSiteIsTransparent(t *testing.T) {
+	hook := New(1).Hook()
+	for i := 0; i < 100; i++ {
+		if err := hook("core/node"); err != nil {
+			t.Fatalf("unarmed site returned %v", err)
+		}
+	}
+}
+
+func TestPanicAtFiresOnExactVisit(t *testing.T) {
+	in := New(1)
+	in.PanicAt("s", 3)
+	hook := in.Hook()
+	for i := 1; i <= 2; i++ {
+		if err := hook("s"); err != nil {
+			t.Fatalf("visit %d: %v", i, err)
+		}
+	}
+	defer func() {
+		r := recover()
+		pv, ok := r.(*PanicValue)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *PanicValue", r, r)
+		}
+		if pv.Site != "s" || pv.Visit != 3 {
+			t.Fatalf("PanicValue = %+v, want site s visit 3", pv)
+		}
+		if got := pv.String(); got == "" {
+			t.Fatal("empty PanicValue string")
+		}
+		if in.Visits("s") != 3 {
+			t.Fatalf("Visits = %d, want 3", in.Visits("s"))
+		}
+	}()
+	hook("s")
+	t.Fatal("visit 3 did not panic")
+}
+
+func TestPanicWithinIsSeedDeterministic(t *testing.T) {
+	fireAt := func(seed int64) uint64 {
+		in := New(seed)
+		in.PanicWithin("s", 50)
+		hook := in.Hook()
+		for i := uint64(1); i <= 50; i++ {
+			fired := func() (fired bool) {
+				defer func() {
+					if recover() != nil {
+						fired = true
+					}
+				}()
+				hook("s")
+				return false
+			}()
+			if fired {
+				return i
+			}
+		}
+		t.Fatal("PanicWithin(50) never fired in 50 visits")
+		return 0
+	}
+	a, b := fireAt(7), fireAt(7)
+	if a != b {
+		t.Fatalf("same seed fired at different visits: %d vs %d", a, b)
+	}
+	if a < 1 || a > 50 {
+		t.Fatalf("fired outside window: %d", a)
+	}
+}
+
+func TestFailAllocAtStaysFailed(t *testing.T) {
+	in := New(1)
+	in.FailAllocAt("s", 2)
+	hook := in.Hook()
+	if err := hook("s"); err != nil {
+		t.Fatalf("visit 1: %v", err)
+	}
+	for i := 2; i <= 5; i++ {
+		if err := hook("s"); !errors.Is(err, ErrAllocFail) {
+			t.Fatalf("visit %d: err = %v, want ErrAllocFail", i, err)
+		}
+	}
+}
+
+func TestDelayEvery(t *testing.T) {
+	in := New(1)
+	in.DelayEvery("s", 2, time.Millisecond)
+	hook := in.Hook()
+	start := time.Now()
+	for i := 0; i < 4; i++ { // fires on visits 2 and 4
+		if err := hook("s"); err != nil {
+			t.Fatalf("visit %d: %v", i+1, err)
+		}
+	}
+	if el := time.Since(start); el < 2*time.Millisecond {
+		t.Fatalf("4 visits with DelayEvery(2, 1ms) took only %v", el)
+	}
+	if in.Visits("s") != 4 {
+		t.Fatalf("Visits = %d, want 4", in.Visits("s"))
+	}
+}
+
+func TestLeakCheckPassesOnCleanFunction(t *testing.T) {
+	done := CheckGoroutines(t)
+	ch := make(chan struct{})
+	go func() { close(ch) }()
+	<-ch
+	done()
+}

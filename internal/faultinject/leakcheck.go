@@ -1,0 +1,41 @@
+package faultinject
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakGrace is how long CheckGoroutines waits for stragglers: worker pools
+// are expected to wind down promptly once their run returns, but the
+// runtime needs a few scheduling quanta to retire exited goroutines.
+const leakGrace = 5 * time.Second
+
+// CheckGoroutines snapshots the goroutine count and returns a function to
+// defer at the top of a test: it fails the test if, after a grace period,
+// more goroutines are alive than at the snapshot — the signature of an
+// enumeration worker leaked by a panic or a stuck queue. Tests using it
+// must not run in parallel with tests that spawn background goroutines.
+func CheckGoroutines(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(leakGrace)
+		var now int
+		for {
+			now = runtime.NumGoroutine()
+			if now <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d goroutines before, %d still alive after %v\n%s",
+			before, now, leakGrace, buf[:n])
+	}
+}

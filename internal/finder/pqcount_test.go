@@ -81,7 +81,10 @@ func TestCountPQKnownValues(t *testing.T) {
 	for v := range rows {
 		rows[v] = []int32{0, 1, 2, 3}
 	}
-	g := graph.MustFromAdjacency(4, rows)
+	g, err := graph.FromAdjacency(4, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := map[[2]int]int64{
 		{1, 1}: 12, {2, 2}: 18, {4, 3}: 1, {2, 1}: 18, {3, 3}: 4,
 	}

@@ -35,6 +35,9 @@ func Table1(cfg Config) error {
 	fmt.Fprintln(w, "dataset\t|U|\t|V|\t|E|\tmeasured MB\tpaper MB\ttime")
 	rows := [][]string{{"dataset", "nu", "nv", "edges", "measured_mb", "paper_mb", "timed_out"}}
 	for _, s := range specs {
+		if err := cfg.ctx().Err(); err != nil {
+			return err
+		}
 		g := s.Build()
 		st := graph.Summarize(g)
 		r, err := RunAlgorithm(g, AlgoParAdaMBE, cfg, nil)
@@ -70,6 +73,9 @@ func Fig4(cfg Config) error {
 	}
 	var m core.Metrics
 	for _, s := range specs {
+		if err := cfg.ctx().Err(); err != nil {
+			return err
+		}
 		g := s.Build()
 		if _, err := RunAlgorithm(g, AlgoBaseline, cfg, &m); err != nil {
 			return err
@@ -118,6 +124,9 @@ func Fig5(cfg Config) error {
 	fmt.Fprintln(w, "dataset\tinside %\toutside %\ttotal accesses")
 	rows := [][]string{{"dataset", "inside_pct", "outside_pct", "total"}}
 	for _, s := range specs {
+		if err := cfg.ctx().Err(); err != nil {
+			return err
+		}
 		g := s.Build()
 		var m core.Metrics
 		if _, err := RunAlgorithm(g, AlgoBaseline, cfg, &m); err != nil {
@@ -155,6 +164,9 @@ func Fig8(cfg Config) error {
 	fmt.Fprintln(w, header)
 	rows := [][]string{{"dataset", "algorithm", "seconds", "timed_out", "peak_heap_mib", "count"}}
 	for _, s := range specs {
+		if err := cfg.ctx().Err(); err != nil {
+			return err
+		}
 		g := s.Build()
 		line := s.Acronym
 		for _, a := range algos {
@@ -190,6 +202,9 @@ func Fig9(cfg Config) error {
 	fmt.Fprintln(w, "dataset\talgorithm\ttime\tcount\ttimed out")
 	rows := [][]string{{"dataset", "algorithm", "seconds", "count", "timed_out"}}
 	for _, s := range specs {
+		if err := cfg.ctx().Err(); err != nil {
+			return err
+		}
 		g := s.Build()
 		for _, a := range algos {
 			r, err := RunAlgorithm(g, a, cfg, nil)
@@ -224,6 +239,9 @@ func Fig10(cfg Config) error {
 	fmt.Fprintln(w, "dataset\tvariant\ttime\theap MiB\tnon-max nodes\tsmall time\tlarge time")
 	rows := [][]string{{"dataset", "variant", "seconds", "peak_heap_mib", "nonmax_nodes", "small_seconds", "large_seconds"}}
 	for _, s := range specs {
+		if err := cfg.ctx().Err(); err != nil {
+			return err
+		}
 		g := s.Build()
 		for _, v := range variants {
 			var m core.Metrics
@@ -264,6 +282,9 @@ func Fig11(cfg Config) error {
 	fmt.Fprintln(w, "dataset\tτ\tpadded time\tadaptive time\tbitmaps created")
 	rows := [][]string{{"dataset", "tau", "padded_seconds", "adaptive_seconds", "bitmaps"}}
 	for _, s := range specs {
+		if err := cfg.ctx().Err(); err != nil {
+			return err
+		}
 		g := s.Build()
 		og := order.Apply(g, order.DegreeAscending, 0)
 		for _, tau := range taus {
@@ -273,7 +294,7 @@ func Fig11(cfg Config) error {
 				start := time.Now()
 				res, err := core.Enumerate(og, core.Options{
 					Variant: core.BIT, Tau: tau, Deadline: deadline,
-					Metrics: &m, PadBitmaps: pad,
+					Context: cfg.ctx(), Metrics: &m, PadBitmaps: pad,
 				})
 				return time.Since(start), res.TimedOut, m.BitmapsCreated, err
 			}
@@ -322,12 +343,15 @@ func Fig12(cfg Config) error {
 	fmt.Fprintln(w, "dataset\tordering\ttime\tcount")
 	rows := [][]string{{"dataset", "ordering", "seconds", "count"}}
 	for _, s := range specs {
+		if err := cfg.ctx().Err(); err != nil {
+			return err
+		}
 		g := s.Build()
 		for _, k := range kinds {
 			deadline := time.Now().Add(cfg.tle())
 			start := time.Now()
 			og := order.Apply(g, k, 7)
-			res, err := core.Enumerate(og, core.Options{Variant: core.Ada, Deadline: deadline})
+			res, err := core.Enumerate(og, core.Options{Variant: core.Ada, Deadline: deadline, Context: cfg.ctx()})
 			if err != nil {
 				return err
 			}
@@ -359,6 +383,9 @@ func Fig13(cfg Config) error {
 	fmt.Fprintln(w, "dataset\t|E|\tMB count\talgorithm\ttime")
 	rows := [][]string{{"dataset", "edges", "algorithm", "seconds", "timed_out", "count"}}
 	for _, s := range specs {
+		if err := cfg.ctx().Err(); err != nil {
+			return err
+		}
 		g := s.Build()
 		for _, a := range SerialAlgos() {
 			r, err := RunAlgorithm(g, a, cfg, nil)
@@ -399,6 +426,9 @@ func Fig14(cfg Config) error {
 	fmt.Fprintln(w, "dataset\tthreads\tParAdaMBE\tParMBE")
 	rows := [][]string{{"dataset", "threads", "paradambe_seconds", "parmbe_seconds"}}
 	for _, s := range specs {
+		if err := cfg.ctx().Err(); err != nil {
+			return err
+		}
 		g := s.Build()
 		for _, th := range threadsSweep {
 			sub := cfg

@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -41,6 +42,17 @@ type Config struct {
 	// Datasets restricts experiments to the named datasets (acronyms).
 	// Empty = each experiment's default selection.
 	Datasets []string
+	// Context, if non-nil, cancels in-flight enumerations (partial counts
+	// are reported as TLE-style rows) and makes experiment loops stop
+	// between datasets. Used by mbebench to honor SIGINT.
+	Context context.Context
+}
+
+func (c *Config) ctx() context.Context {
+	if c.Context == nil {
+		return context.Background()
+	}
+	return c.Context
 }
 
 func (c *Config) out() io.Writer {
@@ -115,12 +127,13 @@ func ExperimentNames() []string {
 
 // RunResult is one measured enumeration.
 type RunResult struct {
-	Algorithm string
-	Dataset   string
-	Count     int64
-	Elapsed   time.Duration
-	TimedOut  bool
-	PeakHeap  uint64 // bytes, sampled
+	Algorithm  string
+	Dataset    string
+	Count      int64
+	Elapsed    time.Duration
+	TimedOut   bool
+	StopReason core.StopReason
+	PeakHeap   uint64 // bytes, sampled
 }
 
 // AlgoNames used across experiments. AdaMBE family applies the ASC
@@ -168,18 +181,19 @@ func RunAlgorithm(g *graph.Bipartite, algo string, cfg Config, metrics *core.Met
 			threads = cfg.threads()
 		}
 		res, err = core.Enumerate(og, core.Options{
-			Variant: variant, Threads: threads, Deadline: deadline, Metrics: metrics,
+			Variant: variant, Threads: threads, Deadline: deadline,
+			Context: cfg.ctx(), Metrics: metrics,
 		})
 	case AlgoFMBE:
-		res, err = baselines.Run(g, baselines.FMBE, baselines.Options{Deadline: deadline})
+		res, err = baselines.Run(g, baselines.FMBE, baselines.Options{Deadline: deadline, Context: cfg.ctx()})
 	case AlgoPMBE:
-		res, err = baselines.Run(g, baselines.PMBE, baselines.Options{Deadline: deadline})
+		res, err = baselines.Run(g, baselines.PMBE, baselines.Options{Deadline: deadline, Context: cfg.ctx()})
 	case AlgoOOMBEA:
-		res, err = baselines.Run(g, baselines.OOMBEA, baselines.Options{Deadline: deadline})
+		res, err = baselines.Run(g, baselines.OOMBEA, baselines.Options{Deadline: deadline, Context: cfg.ctx()})
 	case AlgoParMBE:
-		res, err = baselines.Run(g, baselines.ParMBE, baselines.Options{Deadline: deadline, Threads: cfg.threads()})
+		res, err = baselines.Run(g, baselines.ParMBE, baselines.Options{Deadline: deadline, Context: cfg.ctx(), Threads: cfg.threads()})
 	case AlgoGMBE:
-		res, err = baselines.Run(g, baselines.GMBE, baselines.Options{Deadline: deadline, Threads: cfg.threads()})
+		res, err = baselines.Run(g, baselines.GMBE, baselines.Options{Deadline: deadline, Context: cfg.ctx(), Threads: cfg.threads()})
 	default:
 		return RunResult{}, fmt.Errorf("harness: unknown algorithm %q", algo)
 	}
@@ -188,11 +202,12 @@ func RunAlgorithm(g *graph.Bipartite, algo string, cfg Config, metrics *core.Met
 		return RunResult{}, err
 	}
 	return RunResult{
-		Algorithm: algo,
-		Count:     res.Count,
-		Elapsed:   elapsed,
-		TimedOut:  res.TimedOut,
-		PeakHeap:  peak(),
+		Algorithm:  algo,
+		Count:      res.Count,
+		Elapsed:    elapsed,
+		TimedOut:   res.TimedOut,
+		StopReason: res.StopReason,
+		PeakHeap:   peak(),
 	}, nil
 }
 
@@ -253,8 +268,19 @@ func fmtDur(d time.Duration) string {
 
 func fmtRun(r RunResult) string {
 	s := fmtDur(r.Elapsed)
-	if r.TimedOut {
+	reason := r.StopReason
+	if reason == core.StopNone && r.TimedOut { // legacy deadline-only callers
+		reason = core.StopDeadline
+	}
+	switch reason {
+	case core.StopDeadline:
 		s = "TLE(" + s + ")"
+	case core.StopCanceled:
+		s = "canceled(" + s + ")"
+	case core.StopMemoryBudget:
+		s = "mem(" + s + ")"
+	case core.StopPanic:
+		s = "panic(" + s + ")"
 	}
 	return s
 }

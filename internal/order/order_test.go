@@ -22,6 +22,15 @@ func randomGraph(t *testing.T, seed int64, nu, nv, m int) *graph.Bipartite {
 	return g
 }
 
+func mustAdj(t *testing.T, nu int, rows [][]int32) *graph.Bipartite {
+	t.Helper()
+	g, err := graph.FromAdjacency(nu, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
 func isPermutation(p []int32, n int) bool {
 	if len(p) != n {
 		return false
@@ -105,7 +114,7 @@ func TestUnilateralCoreOrdersByCoreness(t *testing.T) {
 		{0, 1, 2}, {0, 1, 2}, {0, 1, 2}, // dense block, v0..v2
 		{3}, {4}, {5}, // pendants, v3..v5
 	}
-	g := graph.MustFromAdjacency(6, rows)
+	g := mustAdj(t, 6, rows)
 	p := Permutation(g, UnilateralCore, 0)
 	// The three pendants (core 0) must precede the dense block (core 2).
 	posDense := len(p)
@@ -193,7 +202,7 @@ func TestUnilateralCoreFallbackPath(t *testing.T) {
 		{0, 1, 2}, {0, 1, 2}, {0, 1, 2}, // dense block v0..v2
 		{3}, // pendant v3
 	}
-	g := graph.MustFromAdjacency(4, rows)
+	g := mustAdj(t, 4, rows)
 	exact := unilateralCorenessBudget(g, 1<<30)
 	approx := unilateralCorenessBudget(g, 0)
 	if len(exact) != 4 || len(approx) != 4 {
@@ -213,7 +222,7 @@ func TestUnilateralCoreFallbackSaturates(t *testing.T) {
 	// feasible at test scale, so call the budgeted variant directly on a
 	// modest star and just check non-negative outputs.
 	rows := [][]int32{{0}, {0}, {0}}
-	g := graph.MustFromAdjacency(1, rows)
+	g := mustAdj(t, 1, rows)
 	for _, c := range unilateralCorenessBudget(g, 0) {
 		if c < 0 {
 			t.Fatalf("negative coreness %d", c)

@@ -3,6 +3,8 @@
 // Slices are int32 vertex ids, sorted ascending and duplicate-free.
 package vset
 
+import "unsafe"
+
 // IntersectInto writes a ∩ b into dst and returns the number of elements
 // written. dst must have capacity ≥ min(len(a), len(b)); dst may alias a
 // or b (the write position never overtakes either read position).
@@ -128,6 +130,12 @@ type Slab[T any] struct {
 	blocks [][]T
 	bi     int // current block index
 	off    int // offset in current block
+
+	// OnGrow, if non-nil, is told the size in bytes of every new block the
+	// slab retains. Blocks are never returned, so the sum of reported sizes
+	// is the slab's live footprint — the hook behind the engines' soft
+	// memory budget. Set it before the first Alloc.
+	OnGrow func(bytes int64)
 }
 
 const slabMinBlock = 1 << 14
@@ -146,6 +154,7 @@ func (s *Slab[T]) Release(m Mark) { s.bi, s.off = m.bi, m.off }
 func (s *Slab[T]) Alloc(n int) []T {
 	if len(s.blocks) == 0 {
 		s.blocks = append(s.blocks, make([]T, slabMinBlock))
+		s.grew(slabMinBlock)
 	}
 	for s.off+n > len(s.blocks[s.bi]) {
 		if s.bi+1 < len(s.blocks) {
@@ -158,6 +167,7 @@ func (s *Slab[T]) Alloc(n int) []T {
 			size *= 2
 		}
 		s.blocks = append(s.blocks, make([]T, size))
+		s.grew(size)
 		s.bi++
 		s.off = 0
 	}
@@ -171,4 +181,11 @@ func (s *Slab[T]) Alloc(n int) []T {
 // difference. Only valid immediately after the corresponding Alloc.
 func (s *Slab[T]) ShrinkLast(allocated, used int) {
 	s.off -= allocated - used
+}
+
+func (s *Slab[T]) grew(elems int) {
+	if s.OnGrow != nil {
+		var zero T
+		s.OnGrow(int64(elems) * int64(unsafe.Sizeof(zero)))
+	}
 }

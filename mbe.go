@@ -24,6 +24,7 @@
 package mbe
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -231,6 +232,23 @@ type Metrics = core.Metrics
 // Result summarizes an enumeration run.
 type Result = core.Result
 
+// StopReason reports why a run returned before exhausting the search tree
+// (Result.StopReason); StopNone means the run completed.
+type StopReason = core.StopReason
+
+// The stop reasons a Result can carry.
+const (
+	StopNone         = core.StopNone
+	StopDeadline     = core.StopDeadline
+	StopCanceled     = core.StopCanceled
+	StopMemoryBudget = core.StopMemoryBudget
+	StopPanic        = core.StopPanic
+)
+
+// ErrPanic is wrapped by the error Enumerate returns when a worker
+// panicked; the run still winds down cleanly with partial results.
+var ErrPanic = core.ErrPanic
+
 // Options configures Enumerate. The zero value runs serial AdaMBE with
 // τ = 64 and ascending-degree ordering.
 type Options struct {
@@ -246,8 +264,18 @@ type Options struct {
 	Seed int64
 	// OnBiclique receives every maximal biclique, if non-nil.
 	OnBiclique Handler
-	// Deadline stops the run early (Result.TimedOut reports it).
+	// Deadline stops the run early with partial counts and
+	// Result.StopReason == StopDeadline.
 	Deadline time.Time
+	// Context, if non-nil, stops the run when canceled (e.g. on SIGINT via
+	// signal.NotifyContext); partial counts are returned with
+	// Result.StopReason == StopCanceled.
+	Context context.Context
+	// MaxMemoryBytes, if positive, is a soft budget on engine-tracked
+	// memory (slab scratch, bitmap CGs, parallel task copies, hash/bitmap
+	// representations of the competitors). Exceeding it stops the run with
+	// partial counts and Result.StopReason == StopMemoryBudget.
+	MaxMemoryBytes int64
 	// Metrics, if non-nil, gathers instrumentation (AdaMBE family only).
 	Metrics *Metrics
 }
@@ -264,9 +292,11 @@ func Enumerate(g *Graph, opts Options) (Result, error) {
 			ParMBE: baselines.ParMBE, GMBESim: baselines.GMBE,
 		}[opts.Algorithm]
 		return baselines.Run(g.b, alg, baselines.Options{
-			Threads:    opts.Threads,
-			OnBiclique: opts.OnBiclique,
-			Deadline:   opts.Deadline,
+			Threads:        opts.Threads,
+			OnBiclique:     opts.OnBiclique,
+			Deadline:       opts.Deadline,
+			Context:        opts.Context,
+			MaxMemoryBytes: opts.MaxMemoryBytes,
 		})
 	default:
 		return Result{}, fmt.Errorf("mbe: unknown algorithm %d", int(opts.Algorithm))
@@ -321,12 +351,14 @@ func enumerateCore(g *Graph, opts Options) (Result, error) {
 		threads = 0
 	}
 	return core.Enumerate(b, core.Options{
-		Variant:    variant,
-		Tau:        opts.Tau,
-		Threads:    threads,
-		OnBiclique: handler,
-		Deadline:   opts.Deadline,
-		Metrics:    opts.Metrics,
+		Variant:        variant,
+		Tau:            opts.Tau,
+		Threads:        threads,
+		OnBiclique:     handler,
+		Deadline:       opts.Deadline,
+		Context:        opts.Context,
+		MaxMemoryBytes: opts.MaxMemoryBytes,
+		Metrics:        opts.Metrics,
 	})
 }
 
