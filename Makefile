@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench repro repro-quick fuzz clean
+.PHONY: all build test test-race bench bench-parallel repro repro-quick fuzz clean
 
 all: build test
 
@@ -19,6 +19,12 @@ test-race:
 # One testing.B benchmark per paper table/figure plus kernel micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the checked-in scheduler perf trajectory (serial AdaMBE vs the
+# ParAdaMBE thread sweep, with spawn/steal/inline counters). Fails if any
+# parallel count diverges from the serial reference.
+bench-parallel:
+	$(GO) run ./cmd/mbebench -json BENCH_parallel.json -datasets UL,UF,GH
 
 # Regenerate every table and figure of the paper's evaluation (text tables
 # to stdout, CSV series to results/). Takes tens of minutes at full scale.

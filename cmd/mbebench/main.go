@@ -7,6 +7,7 @@
 //	mbebench -exp fig8 -quick          # smoke-sized run
 //	mbebench -exp fig10 -csv results/  # also dump CSV series for plotting
 //	mbebench -exp fig12 -datasets BX,GH
+//	mbebench -json BENCH_parallel.json # scheduler perf trajectory (no -exp)
 //
 // Text tables go to stdout; each experiment states which paper figure it
 // regenerates and, where applicable, the paper's headline number next to
@@ -35,10 +36,11 @@ func main() {
 		threads = flag.Int("t", 0, "parallel width (0 = all cores)")
 		csvDir  = flag.String("csv", "", "directory for CSV series (optional)")
 		dsets   = flag.String("datasets", "", "comma-separated dataset override (acronyms)")
+		jsonOut = flag.String("json", "", "write the parallel-scheduler benchmark trajectory to this file and exit")
 	)
 	flag.Parse()
 
-	if *exp == "" {
+	if *exp == "" && *jsonOut == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -56,6 +58,18 @@ func main() {
 	}
 	if *dsets != "" {
 		cfg.Datasets = strings.Split(*dsets, ",")
+	}
+
+	if *jsonOut != "" {
+		if err := harness.BenchParallel(cfg, *jsonOut); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "mbebench: benchmark interrupted; no trajectory written")
+			} else {
+				fmt.Fprintln(os.Stderr, "mbebench:", err)
+			}
+			os.Exit(1)
+		}
+		return
 	}
 
 	names := []string{*exp}

@@ -50,12 +50,22 @@ func (cg *bitCG) reset(width int, lids []int32, nMasks int) {
 }
 
 // growMask appends storage for one more zeroed mask (global builder path).
+// Growth is a single doubling allocation — and a single gauge charge — per
+// reallocation, not one word-sized append per mask.
 func (cg *bitCG) growMask() {
-	before := cap(cg.masks)
-	for i := 0; i < cg.width; i++ {
-		cg.masks = append(cg.masks, 0)
+	need := len(cg.masks) + cg.width
+	if need > cap(cg.masks) {
+		before := cap(cg.masks)
+		grown := make([]uint64, need, max(need, 2*cap(cg.masks)))
+		copy(grown, cg.masks)
+		cg.masks = grown
+		cg.charged(before, cap(cg.masks))
+		return
 	}
-	cg.charged(before, cap(cg.masks))
+	// Reusing capacity retained from an earlier, larger subtree: the region
+	// beyond len may hold that subtree's stale mask bits.
+	cg.masks = cg.masks[:need]
+	clear(cg.masks[need-cg.width:])
 }
 
 func (cg *bitCG) mask(k int32) bitset.Mask {
@@ -64,11 +74,16 @@ func (cg *bitCG) mask(k int32) bitset.Mask {
 
 func (cg *bitCG) frame(d int) bitset.Mask {
 	need := (d + 1) * cg.width
-	before := cap(cg.framesBuf)
-	for cap(cg.framesBuf) < need {
-		cg.framesBuf = append(cg.framesBuf[:cap(cg.framesBuf)], 0)
+	if cap(cg.framesBuf) < need {
+		// One doubling allocation per growth. The prefix holds the live L_q
+		// frames of every ancestor depth and must be copied over; the new
+		// frame itself needs no zeroing (MaskAnd fully overwrites it).
+		before := cap(cg.framesBuf)
+		grown := make([]uint64, max(need, 2*cap(cg.framesBuf)))
+		copy(grown, cg.framesBuf)
+		cg.framesBuf = grown
+		cg.charged(before, cap(cg.framesBuf))
 	}
-	cg.charged(before, cap(cg.framesBuf))
 	cg.framesBuf = cg.framesBuf[:cap(cg.framesBuf)]
 	return bitset.Mask(cg.framesBuf[d*cg.width : (d+1)*cg.width])
 }

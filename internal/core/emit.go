@@ -1,0 +1,121 @@
+package core
+
+import "sync"
+
+// emitBatchPairs is the per-worker buffer size at which an emission shard
+// flushes: large enough to amortize the shared lock over many bicliques,
+// small enough that delivery latency stays bounded and partial buffers at
+// cancellation are cheap to drain.
+const emitBatchPairs = 128
+
+// emitShard is one parallel worker's emission buffer. ParAdaMBE's serial
+// ancestor took a global mutex around every OnBiclique call; on skewed
+// datasets where a few subtrees emit millions of bicliques that mutex is
+// the scaling cliff. Each worker instead copies its (L, R) pairs into a
+// private arena and flushes the whole batch through one short critical
+// section, so lock traffic drops by the batch factor while handler calls
+// remain serialized (the documented default contract). A worker's own
+// bicliques are delivered in discovery order; interleaving across workers
+// is unspecified, exactly as with the old per-call mutex.
+//
+// The shard exists only when a handler is attached and UnorderedEmit is
+// off; the unordered path hands the engine the user handler directly, and
+// handler-less runs only count.
+type emitShard struct {
+	inner Handler
+	mu    *sync.Mutex // shared across the run's shards
+
+	// arena backs both sides of every buffered pair; pairs[i] spans
+	// arena[pairs[i-1].rEnd:pairs[i].lEnd] (L) and
+	// arena[pairs[i].lEnd:pairs[i].rEnd] (R).
+	arena []int32
+	pairs []emitPairRef
+	next  int // first undelivered pair during/after a flush
+
+	// dead is set when a flush panicked (a handler panic): the shard stops
+	// delivering so a crashing user handler is not re-entered while the
+	// run winds down. Emissions discarded this way are tallied in dropped
+	// so the worker can reconcile its count (counts stay "delivered only").
+	dead    bool
+	dropped int64
+
+	charge     func(int64) // engine memory gauge hook
+	chargedCap int64       // bytes already charged for retained capacity
+}
+
+type emitPairRef struct{ lEnd, rEnd int32 }
+
+func newEmitShard(inner Handler, mu *sync.Mutex) *emitShard {
+	return &emitShard{inner: inner, mu: mu}
+}
+
+// emit buffers one biclique, flushing when the batch is full. It is the
+// engine's Handler in sharded mode, so L and R are slab-backed and must be
+// copied here.
+func (s *emitShard) emit(L, R []int32) {
+	if s.dead {
+		s.dropped++
+		return
+	}
+	s.arena = append(s.arena, L...)
+	lEnd := int32(len(s.arena))
+	s.arena = append(s.arena, R...)
+	s.pairs = append(s.pairs, emitPairRef{lEnd: lEnd, rEnd: int32(len(s.arena))})
+	s.accountGrowth()
+	if len(s.pairs)-s.next >= emitBatchPairs {
+		s.flush()
+	}
+}
+
+// flush delivers every buffered pair under the shared lock. A panicking
+// handler marks the shard dead (the panicking pair counts as delivered —
+// the handler was invoked for it — matching the serial engine) and the
+// panic propagates to the caller's recovery.
+func (s *emitShard) flush() {
+	if s.next >= len(s.pairs) || s.dead {
+		return
+	}
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+		if r := recover(); r != nil {
+			s.dead = true
+			panic(r)
+		}
+	}()
+	for s.next < len(s.pairs) {
+		i := s.next
+		start := int32(0)
+		if i > 0 {
+			start = s.pairs[i-1].rEnd
+		}
+		p := s.pairs[i]
+		s.next = i + 1 // advance before the call: a panic leaves the rest undelivered
+		s.inner(s.arena[start:p.lEnd], s.arena[p.lEnd:p.rEnd])
+	}
+	s.arena = s.arena[:0]
+	s.pairs = s.pairs[:0]
+	s.next = 0
+}
+
+// undelivered reports how many counted bicliques this shard failed to
+// deliver (buffered past a dead flush, or dropped after death); the worker
+// subtracts it from its count so Result.Count keeps the monotone
+// "every biclique counted was delivered" guarantee.
+func (s *emitShard) undelivered() int64 {
+	return int64(len(s.pairs)-s.next) + s.dropped
+}
+
+// accountGrowth charges retained buffer capacity growth to the run's soft
+// memory budget (capacities are kept across flushes, so the charge is the
+// shard's live footprint).
+func (s *emitShard) accountGrowth() {
+	if s.charge == nil {
+		return
+	}
+	now := int64(cap(s.arena))*4 + int64(cap(s.pairs))*8
+	if now > s.chargedCap {
+		s.charge(now - s.chargedCap)
+		s.chargedCap = now
+	}
+}

@@ -142,7 +142,7 @@ func (e *engine) searchLN(L, R []int32, candIDs []int32, candNbrs [][]int32, exc
 			}
 			e.emit(lq, rq[:nr])
 			if nc > 0 && (e.skipSubtree == nil || !e.skipSubtree(len(lq), nr, nc)) {
-				if e.spawn != nil && depth < spawnMaxDepth &&
+				if e.spawn != nil &&
 					e.spawn(lq, rq[:nr], cqIDs[:nc], cqNbrs[:nc], exIDs[:nx], exNbrs[:nx], depth+1) {
 					// Subtree handed to the parallel scheduler.
 				} else {
@@ -168,16 +168,19 @@ type detachedNode struct {
 	exclIDs  []int32
 	exclNbrs [][]int32
 	depth    int
+	// mem is the footprint charged to the run's memory gauge at spawn,
+	// released when the task completes (or is discarded during a drain).
+	mem int64
 	// isRoot marks the seed task: the receiving worker runs the two-hop
 	// root loop instead of searchLN.
 	isRoot bool
 }
 
 // memBytes approximates the node's heap footprint for the run's memory
-// gauge: int32 payloads plus slice headers and the struct itself. Detached
-// nodes are short-lived but the queue can hold threads*64 of them, so they
-// count toward the soft budget; the accounting is monotone (never
-// refunded), matching the rest of the engine-side gauge.
+// gauge: int32 payloads plus slice headers and the struct itself. The
+// charge is taken when the node is queued and released when its task
+// completes, so the gauge tracks the live queued footprint (up to
+// threads×capacity nodes) rather than cumulative spawn traffic.
 func (n *detachedNode) memBytes() int64 {
 	ints := len(n.L) + len(n.R) + len(n.candIDs) + len(n.exclIDs)
 	for _, nb := range n.candNbrs {

@@ -5,87 +5,120 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/sched"
 	"repro/internal/tle"
 )
 
-// spawnMaxDepth bounds how deep in the enumeration tree nodes may still be
-// handed to other workers. The paper's ParAdaMBE parallelizes the outer
-// enumeration loops via TBB; here shallow subtrees become tasks on a shared
-// queue and deeper recursion stays worker-local, which keeps the
-// detach-copy overhead negligible while providing enough tasks for dynamic
-// load balancing on skewed datasets (CebWiki-like hubs).
-const spawnMaxDepth = 8
+// Scheduler sizing. The per-worker deque bound keeps the detached-node
+// footprint proportional to the worker count (the queue is backpressure,
+// not buffering: a full deque means the producer recurses inline, which is
+// always correct). parallelSpawnHighWater and parallelMinSpawnCand are the
+// adaptive spawn cutoff's knobs — see shouldSpawn. parallelQueueCap is a
+// variable only so the saturation tests can shrink it.
+var parallelQueueCap = 64
 
-// enumerateParallel is ParAdaMBE: a goroutine pool consuming detached
-// enumeration-tree nodes from a shared queue. Pushes are non-blocking (a
-// full queue means the producing worker just recurses inline), so the pool
-// can never deadlock, and sibling-generation semantics are identical to the
-// serial engine, so the enumerated biclique set is exactly the same.
+const (
+	// parallelSpawnHighWater: once this many subtrees are queued locally
+	// and no worker is starving, further offers recurse inline. Deep
+	// backlogs add detach-copy cost without improving balance — thieves
+	// only ever need a handful of outstanding subtrees to stay busy.
+	parallelSpawnHighWater = 8
+	// parallelMinSpawnCand: a subtree whose candidate set is smaller than
+	// this is only worth detaching when someone is starving; otherwise the
+	// deep-copy overhead exceeds the subtree.
+	parallelMinSpawnCand = 4
+	// parallelSpawnLowWater: absent starvation, each worker keeps this many
+	// worthwhile subtrees queued as steal fodder.
+	parallelSpawnLowWater = 2
+)
+
+// shouldSpawn is the adaptive spawn cutoff that replaces the fixed
+// spawn-depth bound of the first scheduler: the decision is driven by what
+// the pool looks like right now — queue occupancy and the size of the
+// candidate set about to be detached — instead of where the node happens
+// to sit in the enumeration tree. Skewed datasets (the CebWiki hubs the
+// paper highlights) concentrate work in a few deep subtrees; a depth
+// cutoff stops splitting exactly where those subtrees live, while this one
+// keeps splitting any subtree, at any depth, for as long as the split can
+// still feed a starving worker.
+//
+// Starvation means idle workers outnumber the tasks they could steal —
+// merely having parked workers does not: on an oversubscribed machine
+// (more workers than cores) most workers are parked most of the time, and
+// spawning on that signal alone buys no balance while paying a detach
+// copy per node. Absent starvation, each worker only keeps a couple of
+// worthwhile subtrees queued as steal fodder.
+func shouldSpawn(pool *sched.Pool[*detachedNode], w, nCand int) bool {
+	if !pool.CanPush(w) {
+		return false // deque full: inline recursion is the backpressure path
+	}
+	occ := pool.Occupancy(w)
+	if occ >= parallelSpawnHighWater {
+		return false
+	}
+	if pool.IdleWorkers() > pool.QueuedTasks() {
+		return true // genuine starvation: any subtree is steal fodder
+	}
+	return occ < parallelSpawnLowWater && nCand >= parallelMinSpawnCand
+}
+
+// enumerateParallel is ParAdaMBE on a work-stealing scheduler: one bounded
+// deque per worker (owner pushes and pops the youngest subtree, idle
+// workers steal the oldest), the adaptive spawn cutoff above, and
+// reservation-before-copy — sched.Pool.CanPush is a guaranteed
+// reservation, so the detachNode deep-copy is only ever paid for a subtree
+// that will actually be queued. Spawn decisions never change the
+// enumerated set (a declined offer recurses inline with identical
+// semantics), so counts and bicliques are bit-identical to the serial
+// engine.
+//
+// Emission: with a handler attached, each worker buffers its bicliques in
+// a private emitShard and flushes batches under one shared mutex
+// (serialized delivery, the default contract); Options.UnorderedEmit
+// bypasses the shard for direct concurrent calls. Handler-less runs only
+// count and touch no shared state between task boundaries.
 //
 // Lifecycle: every task runs under panic recovery. A panicking task trips
 // the run's shared stop state (tle.Aborted), so sibling workers wind down
-// at their next amortized check; the panicking worker itself stays alive to
-// keep draining (and discarding) queued tasks, which guarantees the pending
-// count reaches zero, the queue closes, and no goroutine leaks. The first
-// panic is reported as the run's error; counts and metrics accumulated by
-// every worker — including the one that panicked — are still merged, so the
+// at their next amortized check; the panicking worker itself stays alive
+// to keep draining (and discarding) queued tasks, which guarantees the
+// pending count reaches zero and no goroutine leaks. The first panic is
+// reported as the run's error; counts and metrics accumulated by every
+// worker — including the one that panicked — are still merged, so the
 // caller gets monotone partial results.
 func enumerateParallel(g *graph.Bipartite, opts Options, shared *tle.Shared) (Result, error) {
 	threads := opts.Threads
-	queue := make(chan *detachedNode, threads*64)
-	var pending sync.WaitGroup // outstanding tasks
+	pool := sched.NewPool[*detachedNode](threads, parallelQueueCap)
+	// Seed with a root marker: the worker that picks it up runs the
+	// two-hop root loop, spawning every first-level subtree as a task.
+	pool.Seed(&detachedNode{isRoot: true})
+
 	var workers sync.WaitGroup
 	var total atomic.Int64
 	var panicOnce sync.Once
 	var panicErr error
-
-	// Serialize user callbacks; the engines themselves never share state.
-	handler := opts.OnBiclique
-	if handler != nil {
-		var mu sync.Mutex
-		inner := handler
-		handler = func(L, R []int32) {
-			mu.Lock()
-			defer mu.Unlock()
-			inner(L, R)
-		}
-	}
-	workerOpts := opts
-	workerOpts.OnBiclique = handler
+	var emitMu sync.Mutex // serializes shard flushes across workers
 	fault := opts.FaultHook
-
-	// runTask executes one queued task with panic isolation. pending.Done
-	// runs on every exit path — normal, skipped, or panicking — so the
-	// queue-closing goroutine can never hang on a crashed worker.
-	runTask := func(e *engine, n *detachedNode) {
-		defer pending.Done()
-		defer func() {
-			if r := recover(); r != nil {
-				panicOnce.Do(func() { panicErr = panicError("ParAdaMBE worker", r) })
-				shared.Trip(tle.Aborted)
-			}
-		}()
-		// Forced poll at the task boundary: observes sibling trips (drain
-		// without work) and bounds deadline/cancel latency to one task.
-		if e.stop.Poll() {
-			return
-		}
-		if n.isRoot {
-			e.runLNRoot()
-		} else {
-			e.searchLN(n.L, n.R, n.candIDs, n.candNbrs, n.exclIDs, n.exclNbrs, n.depth)
-		}
-	}
-
 	var metricsMu sync.Mutex
+
 	for w := 0; w < threads; w++ {
 		workers.Add(1)
-		go func() {
+		go func(w int) {
 			defer workers.Done()
+			workerOpts := opts
+			var shard *emitShard
+			if opts.OnBiclique != nil && !opts.UnorderedEmit {
+				shard = newEmitShard(opts.OnBiclique, &emitMu)
+				workerOpts.OnBiclique = shard.emit
+			}
 			e := newEngine(g, workerOpts, shared)
+			if shard != nil {
+				shard.charge = e.chargeMem
+			}
 			e.spawn = func(L, R, candIDs []int32, candNbrs [][]int32, exclIDs []int32, exclNbrs [][]int32, depth int) bool {
-				if len(queue) >= cap(queue) {
-					return false // cheap pre-check before paying the copy
+				if !shouldSpawn(pool, w, len(candIDs)) {
+					e.metrics.TasksInlined++
+					return false
 				}
 				if fault != nil {
 					if err := fault(SiteSpawn); err != nil {
@@ -93,39 +126,92 @@ func enumerateParallel(g *graph.Bipartite, opts Options, shared *tle.Shared) (Re
 						return false
 					}
 				}
+				// CanPush held above, and only this worker pushes to this
+				// deque: the slot is reserved, the copy cannot be wasted
+				// and the push cannot fail.
 				n := detachNode(L, R, candIDs, candNbrs, exclIDs, exclNbrs)
 				n.depth = depth
-				e.stop.AddMem(n.memBytes())
-				pending.Add(1)
-				select {
-				case queue <- n:
-					return true
-				default:
-					pending.Done()
-					return false
+				n.mem = n.memBytes()
+				e.stop.AddMem(n.mem)
+				pool.Push(w, n)
+				return true
+			}
+
+			// runTask executes one task with panic isolation. TaskDone and
+			// the memory-gauge release run on every exit path — normal,
+			// skipped, or panicking — so the pool always drains and the
+			// gauge tracks the live detached-node footprint, not
+			// cumulative spawn traffic.
+			runTask := func(n *detachedNode) {
+				defer pool.TaskDone()
+				defer func() {
+					if r := recover(); r != nil {
+						panicOnce.Do(func() { panicErr = panicError("ParAdaMBE worker", r) })
+						shared.Trip(tle.Aborted)
+					}
+				}()
+				defer func() {
+					if n.mem != 0 {
+						e.stop.AddMem(-n.mem)
+					}
+				}()
+				// Forced poll at the task boundary: observes sibling trips
+				// (drain without work) and bounds deadline/cancel latency
+				// to one task.
+				if e.stop.Poll() {
+					return
+				}
+				if n.isRoot {
+					e.runLNRoot()
+				} else {
+					e.searchLN(n.L, n.R, n.candIDs, n.candNbrs, n.exclIDs, n.exclNbrs, n.depth)
 				}
 			}
-			for n := range queue {
-				runTask(e, n)
+
+			for {
+				n, ok := pool.Next(w)
+				if !ok {
+					break
+				}
+				runTask(n)
 			}
+
+			// Final flush: bicliques buffered when the run ended — normal
+			// drain, cancellation, deadline — are still delivered exactly
+			// once. A handler panicking here is isolated like a task panic,
+			// and anything the shard could not deliver is reconciled out of
+			// the count.
+			if shard != nil {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicErr = panicError("ParAdaMBE emit flush", r) })
+							shared.Trip(tle.Aborted)
+						}
+					}()
+					shard.flush()
+				}()
+				e.count -= shard.undelivered()
+			}
+
 			total.Add(e.count)
 			if opts.Metrics != nil {
 				metricsMu.Lock()
 				opts.Metrics.merge(&e.metrics)
 				metricsMu.Unlock()
 			}
-		}()
+		}(w)
 	}
-
-	// Seed with a root marker: the worker that picks it up runs the
-	// two-hop root loop, spawning every first-level subtree as a task.
-	pending.Add(1)
-	queue <- &detachedNode{isRoot: true}
-	go func() {
-		pending.Wait()
-		close(queue)
-	}()
 	workers.Wait()
+
+	if opts.Metrics != nil {
+		c := pool.Counters()
+		opts.Metrics.TasksSpawned += c.Spawned
+		opts.Metrics.TasksStolen += c.Stolen
+		if c.MaxQueueDepth > opts.Metrics.MaxQueueDepth {
+			opts.Metrics.MaxQueueDepth = c.MaxQueueDepth
+		}
+	}
 
 	res := Result{Count: total.Load(), StopReason: stopReasonFrom(shared.Reason())}
 	if panicErr != nil {

@@ -61,8 +61,12 @@ const DefaultTau = 64
 const MaxTau = 4096
 
 // Handler receives each maximal biclique (L ⊆ U, R ⊆ V). The slices are
-// reused by the engine and must be copied if retained. Parallel engines may
-// invoke the handler concurrently from multiple goroutines.
+// reused by the engine and must be copied if retained. By default handler
+// invocations are serialized, even under the parallel engine (each worker
+// batches its bicliques and delivers them through a short critical
+// section); with Options.UnorderedEmit the parallel engine invokes the
+// handler concurrently from multiple goroutines and the handler must be
+// safe for concurrent use.
 type Handler func(L, R []int32)
 
 // Options configures an enumeration run.
@@ -77,6 +81,13 @@ type Options struct {
 	Threads int
 	// OnBiclique, if non-nil, is called for every maximal biclique.
 	OnBiclique Handler
+	// UnorderedEmit opts the parallel engine into unordered, concurrent
+	// handler delivery: each worker calls OnBiclique directly instead of
+	// batching into per-worker emission shards flushed under a shared
+	// lock. This removes every copy and lock from the emission path, but
+	// the handler must be safe for concurrent calls. Every maximal
+	// biclique is still delivered exactly once. Serial runs ignore it.
+	UnorderedEmit bool
 	// Deadline, if non-zero, makes the run stop (reporting partial counts
 	// and Result.StopReason == StopDeadline) once the deadline passes.
 	// This implements the paper's 48-hour TLE protocol at laptop scale
@@ -253,6 +264,19 @@ type Metrics struct {
 	LargeNodeTime time.Duration
 	// BitmapsCreated counts bitmap CGs materialized by BIT.
 	BitmapsCreated int64
+
+	// Scheduler counters (parallel runs only; zero for serial engines).
+	// TasksSpawned counts subtrees detached into the work-stealing pool,
+	// TasksStolen the subset executed by a worker other than the one that
+	// detached them, and TasksInlined the spawn offers the adaptive cutoff
+	// declined (the subtree recursed inline instead of paying the detach
+	// copy).
+	TasksSpawned int64
+	TasksStolen  int64
+	TasksInlined int64
+	// MaxQueueDepth is the highest per-worker deque occupancy observed;
+	// merge keeps the maximum rather than summing.
+	MaxQueueDepth int64
 }
 
 // CGHistBuckets is the number of log₂ buckets per axis in Metrics.CGHist
@@ -290,6 +314,12 @@ func (m *Metrics) merge(o *Metrics) {
 	m.SmallNodeTime += o.SmallNodeTime
 	m.LargeNodeTime += o.LargeNodeTime
 	m.BitmapsCreated += o.BitmapsCreated
+	m.TasksSpawned += o.TasksSpawned
+	m.TasksStolen += o.TasksStolen
+	m.TasksInlined += o.TasksInlined
+	if o.MaxQueueDepth > m.MaxQueueDepth {
+		m.MaxQueueDepth = o.MaxQueueDepth
+	}
 	for i := range m.CGHist {
 		for j := range m.CGHist[i] {
 			m.CGHist[i][j] += o.CGHist[i][j]

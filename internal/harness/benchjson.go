@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// BenchRun is one measured enumeration in the perf-trajectory file
+// (BENCH_parallel.json): wall time plus the scheduler counters that explain
+// it. Serial rows (threads = 1) have zero scheduler counters.
+type BenchRun struct {
+	Dataset       string  `json:"dataset"`
+	Algorithm     string  `json:"algorithm"`
+	Threads       int     `json:"threads"`
+	WallMS        float64 `json:"wall_ms"`
+	Count         int64   `json:"count"`
+	TasksSpawned  int64   `json:"tasks_spawned"`
+	TasksStolen   int64   `json:"tasks_stolen"`
+	TasksInlined  int64   `json:"tasks_inlined"`
+	MaxQueueDepth int64   `json:"max_queue_depth"`
+}
+
+// BenchFile is the schema of BENCH_parallel.json. The file is regenerated
+// by `mbebench -json` (see EXPERIMENTS.md); wall times are machine-specific
+// but counts are not, which is what makes the file a useful trajectory:
+// diffs show scheduling-behavior changes (spawn/steal/inline mix) exactly
+// and performance changes approximately.
+type BenchFile struct {
+	Tool       string     `json:"tool"`
+	GoMaxProcs int        `json:"go_maxprocs"`
+	TLESeconds float64    `json:"tle_seconds"`
+	Runs       []BenchRun `json:"runs"`
+}
+
+// benchThreadSweep is the ParAdaMBE width sweep recorded per dataset.
+var benchThreadSweep = []int{2, 4, 8}
+
+// benchDefaultDatasets are the two smallest registry entries — sized for
+// the CI smoke job; override with Config.Datasets for fuller trajectories.
+var benchDefaultDatasets = []string{"UL", "UF"}
+
+// BenchParallel measures serial AdaMBE against the ParAdaMBE thread sweep
+// on each selected dataset and writes the JSON trajectory to outPath. A
+// parallel count differing from the serial reference — or any run ending
+// early (TLE, cancellation) — is an error, so the CI smoke job fails on a
+// scheduler correctness or budget regression, not just on crashes.
+func BenchParallel(cfg Config, outPath string) error {
+	specs, err := cfg.selectSpecs(benchDefaultDatasets)
+	if err != nil {
+		return err
+	}
+	out := cfg.out()
+	file := BenchFile{
+		Tool:       "mbebench -json",
+		GoMaxProcs: cfg.threads(),
+		TLESeconds: cfg.tle().Seconds(),
+		Runs:       []BenchRun{},
+	}
+
+	measure := func(dataset string, g *graph.Bipartite, algo string, threads int) (BenchRun, error) {
+		var m core.Metrics
+		deadline := time.Now().Add(cfg.tle())
+		start := time.Now()
+		res, err := core.Enumerate(g, core.Options{
+			Variant:  core.Ada,
+			Threads:  threads,
+			Deadline: deadline,
+			Context:  cfg.ctx(),
+			Metrics:  &m,
+		})
+		wall := time.Since(start)
+		if err != nil {
+			return BenchRun{}, fmt.Errorf("harness: %s on %s (t=%d): %w", algo, dataset, threads, err)
+		}
+		if res.StopReason != core.StopNone {
+			return BenchRun{}, fmt.Errorf("harness: %s on %s (t=%d) stopped early (%v); raise -tle for a comparable trajectory",
+				algo, dataset, threads, res.StopReason)
+		}
+		return BenchRun{
+			Dataset:       dataset,
+			Algorithm:     algo,
+			Threads:       threads,
+			WallMS:        float64(wall.Microseconds()) / 1e3,
+			Count:         res.Count,
+			TasksSpawned:  m.TasksSpawned,
+			TasksStolen:   m.TasksStolen,
+			TasksInlined:  m.TasksInlined,
+			MaxQueueDepth: m.MaxQueueDepth,
+		}, nil
+	}
+
+	for _, spec := range specs {
+		if err := cfg.ctx().Err(); err != nil {
+			return err
+		}
+		g := order.Apply(spec.Build(), order.DegreeAscending, 0)
+
+		serial, err := measure(spec.Acronym, g, AlgoAdaMBE, 1)
+		if err != nil {
+			return err
+		}
+		file.Runs = append(file.Runs, serial)
+		fmt.Fprintf(out, "%-6s %-10s t=%d  %8.1fms  count=%d\n",
+			spec.Acronym, serial.Algorithm, serial.Threads, serial.WallMS, serial.Count)
+
+		for _, t := range benchThreadSweep {
+			run, err := measure(spec.Acronym, g, AlgoParAdaMBE, t)
+			if err != nil {
+				return err
+			}
+			if run.Count != serial.Count {
+				return fmt.Errorf("harness: ParAdaMBE on %s (t=%d) counted %d, serial %d — scheduler correctness regression",
+					spec.Acronym, t, run.Count, serial.Count)
+			}
+			file.Runs = append(file.Runs, run)
+			fmt.Fprintf(out, "%-6s %-10s t=%d  %8.1fms  count=%d  spawned=%d stolen=%d inlined=%d maxq=%d\n",
+				spec.Acronym, run.Algorithm, run.Threads, run.WallMS, run.Count,
+				run.TasksSpawned, run.TasksStolen, run.TasksInlined, run.MaxQueueDepth)
+		}
+	}
+
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d runs)\n", outPath, len(file.Runs))
+	return nil
+}

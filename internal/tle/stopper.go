@@ -62,7 +62,10 @@ func (s *Shared) Trip(r Reason) {
 // Reason returns the published stop reason (None while running).
 func (s *Shared) Reason() Reason { return Reason(s.reason.Load()) }
 
-// AddMem adjusts the run's tracked memory gauge by delta bytes.
+// AddMem adjusts the run's tracked memory gauge by delta bytes. Negative
+// deltas release a prior charge — queued parallel tasks charge their
+// footprint at spawn and release it at completion — so the gauge tracks
+// live engine-side memory, not cumulative allocation traffic.
 func (s *Shared) AddMem(delta int64) { s.mem.Add(delta) }
 
 // MemBytes returns the current tracked memory usage of the run.
@@ -194,9 +197,10 @@ func (s *Stopper) Stopped() bool { return s.reason != None }
 // Reason returns the worker's local stop reason (None while running).
 func (s *Stopper) Reason() Reason { return s.reason }
 
-// AddMem charges delta bytes of engine-side allocation to the run's gauge.
-// When a budget is armed, the next Hit polls immediately so a blown budget
-// is observed promptly rather than CheckEvery nodes later.
+// AddMem charges delta bytes of engine-side allocation to the run's gauge
+// (negative deltas release a prior charge). When a budget is armed, the
+// next Hit polls immediately so a blown budget is observed promptly rather
+// than CheckEvery nodes later.
 func (s *Stopper) AddMem(delta int64) {
 	if s.shared == nil {
 		return

@@ -222,7 +222,8 @@ const (
 )
 
 // Handler receives each maximal biclique. Slices are reused by the engine:
-// copy them to retain. Parallel algorithms serialize handler calls.
+// copy them to retain. Parallel algorithms serialize handler calls unless
+// Options.UnorderedEmit is set.
 type Handler = core.Handler
 
 // Metrics exposes the instrumentation counters behind the paper's
@@ -264,6 +265,11 @@ type Options struct {
 	Seed int64
 	// OnBiclique receives every maximal biclique, if non-nil.
 	OnBiclique Handler
+	// UnorderedEmit lifts the serialized-delivery guarantee for ParAdaMBE:
+	// workers call OnBiclique directly and concurrently instead of batching
+	// under a shared lock. The handler must be safe for concurrent use.
+	// Ignored by the serial algorithms and the competitors.
+	UnorderedEmit bool
 	// Deadline stops the run early with partial counts and
 	// Result.StopReason == StopDeadline.
 	Deadline time.Time
@@ -332,13 +338,25 @@ func enumerateCore(g *Graph, opts Options) (Result, error) {
 	handler := opts.OnBiclique
 	if handler != nil && perm != nil {
 		inner := handler
-		h := make([]int32, 0, 64)
-		var mapBack Handler = func(L, R []int32) {
-			h = h[:0]
-			for _, v := range R {
-				h = append(h, perm[v])
+		var mapBack Handler
+		if opts.UnorderedEmit {
+			// Concurrent delivery: no shared scratch between calls.
+			mapBack = func(L, R []int32) {
+				h := make([]int32, 0, len(R))
+				for _, v := range R {
+					h = append(h, perm[v])
+				}
+				inner(L, h)
 			}
-			inner(L, h)
+		} else {
+			h := make([]int32, 0, 64)
+			mapBack = func(L, R []int32) {
+				h = h[:0]
+				for _, v := range R {
+					h = append(h, perm[v])
+				}
+				inner(L, h)
+			}
 		}
 		handler = mapBack
 	}
@@ -355,6 +373,7 @@ func enumerateCore(g *Graph, opts Options) (Result, error) {
 		Tau:            opts.Tau,
 		Threads:        threads,
 		OnBiclique:     handler,
+		UnorderedEmit:  opts.UnorderedEmit,
 		Deadline:       opts.Deadline,
 		Context:        opts.Context,
 		MaxMemoryBytes: opts.MaxMemoryBytes,

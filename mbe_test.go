@@ -2,8 +2,10 @@ package mbe_test
 
 import (
 	"bytes"
+	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -215,4 +217,55 @@ func TestOrientThroughAPI(t *testing.T) {
 	if len(og.NeighborsOfU(0)) != len(g.NeighborsOfV(0)) {
 		t.Fatal("neighbor access broken after orient")
 	}
+}
+
+// TestUnorderedEmitThroughPublicAPI runs ParAdaMBE with concurrent handler
+// delivery and every ordering (the ordering path maps R back through the
+// permutation, which must not share scratch between concurrent calls).
+func TestUnorderedEmitThroughPublicAPI(t *testing.T) {
+	g, err := mbe.Dataset("UL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ord := range []mbe.Ordering{mbe.OrderAscendingDegree, mbe.OrderNone} {
+		want := make(map[string]int)
+		if _, err := mbe.Enumerate(g, mbe.Options{Ordering: ord, OnBiclique: func(L, R []int32) {
+			want[keyOf(L, R)]++
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		got := make(map[string]int)
+		res, err := mbe.Enumerate(g, mbe.Options{
+			Algorithm:     mbe.ParAdaMBE,
+			Threads:       8,
+			Ordering:      ord,
+			UnorderedEmit: true,
+			OnBiclique: func(L, R []int32) {
+				k := keyOf(L, R)
+				mu.Lock()
+				got[k]++
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != int64(len(want)) {
+			t.Fatalf("ordering %d: count %d, serial %d", ord, res.Count, len(want))
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("ordering %d: biclique %q delivered %d times, want %d", ord, k, got[k], n)
+			}
+		}
+	}
+}
+
+func keyOf(L, R []int32) string {
+	l := append([]int32(nil), L...)
+	r := append([]int32(nil), R...)
+	sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	sort.Slice(r, func(i, j int) bool { return r[i] < r[j] })
+	return fmt.Sprint(l, "|", r)
 }
