@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-parallel repro repro-quick fuzz clean
+.PHONY: all build test test-race bench bench-parallel repro repro-quick fuzz difftest difftest-extended clean
 
 all: build test
 
@@ -33,6 +33,17 @@ repro:
 
 repro-quick:
 	$(GO) run ./cmd/mbebench -exp all -quick
+
+# Differential + metamorphic correctness sweep (digest equality across all
+# engines × orderings × thread counts); the PR-gating leg.
+difftest:
+	$(GO) test ./internal/difftest -v -run 'TestSweep|TestMetamorphic|TestInjected|TestDup|TestReplay'
+
+# Nightly-scale sweep: larger graphs, fresh seed, race detector. Any
+# disagreement is minimized into internal/difftest/testdata/repros/.
+difftest-extended:
+	MBE_DIFFTEST_EXTENDED=1 MBE_DIFFTEST_SEED=$${MBE_DIFFTEST_SEED:-$$(date +%s)} \
+		$(GO) test -race ./internal/difftest -v -timeout 60m -run 'TestExtendedSweep|TestSweep|TestMetamorphic|TestReplay'
 
 fuzz:
 	$(GO) test ./internal/graph -fuzz FuzzReadKonect -fuzztime 30s

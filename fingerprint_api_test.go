@@ -1,0 +1,77 @@
+package mbe_test
+
+import (
+	"sync"
+	"testing"
+
+	mbe "repro"
+)
+
+// TestDigestEqualAcrossAlgorithms checks the public fingerprint hook: two
+// different engines over the same graph produce identical digests even
+// though their emission orders differ completely.
+func TestDigestEqualAcrossAlgorithms(t *testing.T) {
+	g := mbe.GenerateUniform(11, 60, 30, 240)
+	digestOf := func(alg mbe.Algorithm) mbe.Digest {
+		t.Helper()
+		var d mbe.Digest
+		res, err := mbe.Enumerate(g, mbe.Options{Algorithm: alg, OnBiclique: d.Observe})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.Count != d.Count {
+			t.Fatalf("%s: digest count %d != result count %d", alg, d.Count, res.Count)
+		}
+		return d
+	}
+	ref := digestOf(mbe.AdaMBE)
+	if ref.Count == 0 {
+		t.Fatal("test graph has no bicliques")
+	}
+	for _, alg := range []mbe.Algorithm{mbe.BaselineMBE, mbe.FMBE, mbe.ParAdaMBE} {
+		if d := digestOf(alg); !d.Equal(ref) {
+			t.Errorf("%s digest %s != AdaMBE digest %s", alg, d, ref)
+		}
+	}
+}
+
+// TestDigestMergeUnderUnorderedEmit demonstrates the documented pattern
+// for concurrent delivery: sharded digests merged at the end must match a
+// serial run's digest. The digest is commutative, so any partition of the
+// emissions across shards works.
+func TestDigestMergeUnderUnorderedEmit(t *testing.T) {
+	g := mbe.GenerateUniform(12, 80, 40, 400)
+	var serial mbe.Digest
+	if _, err := mbe.Enumerate(g, mbe.Options{OnBiclique: serial.Observe}); err != nil {
+		t.Fatal(err)
+	}
+
+	const nshards = 4
+	var shards [nshards]mbe.Digest
+	var mu sync.Mutex
+	i := 0
+	res, err := mbe.Enumerate(g, mbe.Options{
+		Algorithm:     mbe.ParAdaMBE,
+		Threads:       4,
+		UnorderedEmit: true,
+		OnBiclique: func(L, R []int32) {
+			mu.Lock()
+			shards[i%nshards].Observe(L, R)
+			i++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged mbe.Digest
+	for k := range shards {
+		merged.Merge(shards[k])
+	}
+	if merged.Count != res.Count {
+		t.Fatalf("merged count %d != result count %d", merged.Count, res.Count)
+	}
+	if !merged.Equal(serial) {
+		t.Fatalf("merged digest %s != serial digest %s", merged, serial)
+	}
+}

@@ -52,6 +52,10 @@ func Serial() []Algorithm { return []Algorithm{FMBE, PMBE, OOMBEA} }
 // Parallel lists the parallel competitors (Fig. 8a right group, Fig. 14).
 func Parallel() []Algorithm { return []Algorithm{ParMBE, GMBE} }
 
+// All lists every competitor, serial first. The differential harness
+// iterates this to cover the full engine matrix.
+func All() []Algorithm { return append(Serial(), Parallel()...) }
+
 // Options configures a baseline run.
 type Options struct {
 	// Threads is used by ParMBE and GMBE; serial algorithms ignore it.

@@ -37,22 +37,23 @@ func BicliqueKey(L, R []int32) string {
 // MaxBruteForceV bounds |V| for the brute-force oracle (2^|V| subsets).
 const MaxBruteForceV = 22
 
-// BruteForceKeys enumerates every maximal biclique of g by exhaustive
-// closure over subsets of V and returns their sorted canonical keys. It is
-// an oracle for tests: O(2^|V| · |V| · Δ) time, valid only for
-// |V| ≤ MaxBruteForceV. A biclique here has both sides non-empty, matching
-// the enumeration engines' convention.
+// BruteForce enumerates every maximal biclique of g by exhaustive closure
+// over subsets of V and delivers each one to emit (slices are reused; copy
+// to retain). It is the oracle the differential harness and the test
+// suites compare every engine against: O(2^|V| · |V| · Δ) time, valid
+// only for |V| ≤ MaxBruteForceV. A biclique here has both sides
+// non-empty, matching the enumeration engines' convention.
 //
 // Method: for each non-empty R ⊆ V compute Γ(R) = ⋂_{v∈R} N(v); the pair
 // (Γ(R), R) is a maximal biclique iff Γ(R) ≠ ∅ and R is closed, i.e.
 // R = {v : Γ(R) ⊆ N(v)}. Every maximal biclique arises from exactly one
 // closed R, so no deduplication is needed.
-func BruteForceKeys(g *graph.Bipartite) []string {
+func BruteForce(g *graph.Bipartite, emit Handler) {
 	nv := g.NV()
 	if nv > MaxBruteForceV {
-		panic("core: BruteForceKeys graph too large")
+		panic("core: BruteForce graph too large")
 	}
-	var keys []string
+	var rs []int32
 	for rMask := uint32(1); rMask < uint32(1)<<nv; rMask++ {
 		gamma := gammaOfMask(g, rMask)
 		if len(gamma) == 0 {
@@ -68,14 +69,23 @@ func BruteForceKeys(g *graph.Bipartite) []string {
 		if closure != rMask {
 			continue
 		}
-		var rs []int32
+		rs = rs[:0]
 		for v := int32(0); v < int32(nv); v++ {
 			if rMask&(1<<uint(v)) != 0 {
 				rs = append(rs, v)
 			}
 		}
-		keys = append(keys, BicliqueKey(gamma, rs))
+		emit(gamma, rs)
 	}
+}
+
+// BruteForceKeys runs BruteForce and returns the sorted canonical keys of
+// every maximal biclique.
+func BruteForceKeys(g *graph.Bipartite) []string {
+	var keys []string
+	BruteForce(g, func(L, R []int32) {
+		keys = append(keys, BicliqueKey(L, R))
+	})
 	sort.Strings(keys)
 	return keys
 }

@@ -1,0 +1,209 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// A Transform rewrites a graph in a way whose effect on the maximal
+// biclique set is known exactly, and supplies the MapBack that converts
+// each biclique of the transformed graph into the original id space. The
+// metamorphic property under test is always the same: enumerating the
+// transformed graph and mapping back must yield the original digest.
+type Transform struct {
+	Name  string
+	Apply func(g *graph.Bipartite) (*graph.Bipartite, MapBack, error)
+}
+
+// Transforms returns the metamorphic suite, seeded where randomized:
+//
+//   - relabel: permute both sides' ids (digest equivariant under the
+//     inverse relabeling).
+//   - side-swap: exchange U and V (bicliques mirror; fingerprints are
+//     side-sensitive, so MapBack swaps the sides back).
+//   - isolated: inject degree-0 vertices on both sides (biclique set
+//     untouched — isolated vertices can never join a biclique).
+//   - dup-v / dup-u: duplicate one vertex's neighborhood; every maximal
+//     biclique containing the original must now contain the clone and
+//     nothing else changes, so stripping the clone recovers the original
+//     set (MapBack errors if the clone ever appears without the original
+//     or vice versa).
+//   - edge-perm: rebuild the graph from a shuffled edge list (identical
+//     graph, so identical digest).
+func Transforms(seed int64) []Transform {
+	return []Transform{
+		{Name: "relabel", Apply: relabelTransform(seed)},
+		{Name: "side-swap", Apply: sideSwapTransform},
+		{Name: "isolated", Apply: isolatedTransform},
+		{Name: "dup-v", Apply: dupVertexTransform(false)},
+		{Name: "dup-u", Apply: dupVertexTransform(true)},
+		{Name: "edge-perm", Apply: edgePermTransform(seed + 1)},
+	}
+}
+
+func relabelTransform(seed int64) func(*graph.Bipartite) (*graph.Bipartite, MapBack, error) {
+	return func(g *graph.Bipartite) (*graph.Bipartite, MapBack, error) {
+		rng := rand.New(rand.NewSource(seed))
+		permU := rng.Perm(g.NU()) // old id -> new id
+		permV := rng.Perm(g.NV())
+		edges := g.Edges()
+		for i, e := range edges {
+			edges[i] = graph.Edge{U: int32(permU[e.U]), V: int32(permV[e.V])}
+		}
+		ng, err := graph.FromEdges(g.NU(), g.NV(), edges)
+		if err != nil {
+			return nil, nil, err
+		}
+		invU := invert(permU)
+		invV := invert(permV)
+		mb := func(L, R []int32) ([]int32, []int32, error) {
+			return mapThrough(L, invU), mapThrough(R, invV), nil
+		}
+		return ng, mb, nil
+	}
+}
+
+func sideSwapTransform(g *graph.Bipartite) (*graph.Bipartite, MapBack, error) {
+	mb := func(L, R []int32) ([]int32, []int32, error) {
+		// The swapped graph's U side is the original V side: a biclique
+		// (L', R') there is the original biclique (R', L').
+		return R, L, nil
+	}
+	return g.Swapped(), mb, nil
+}
+
+func isolatedTransform(g *graph.Bipartite) (*graph.Bipartite, MapBack, error) {
+	const extra = 3
+	ng, err := graph.FromEdges(g.NU()+extra, g.NV()+extra, g.Edges())
+	if err != nil {
+		return nil, nil, err
+	}
+	nu, nv := int32(g.NU()), int32(g.NV())
+	mb := func(L, R []int32) ([]int32, []int32, error) {
+		for _, u := range L {
+			if u >= nu {
+				return nil, nil, fmt.Errorf("isolated U vertex %d appeared in a biclique", u)
+			}
+		}
+		for _, v := range R {
+			if v >= nv {
+				return nil, nil, fmt.Errorf("isolated V vertex %d appeared in a biclique", v)
+			}
+		}
+		return L, R, nil
+	}
+	return ng, mb, nil
+}
+
+// dupVertexTransform duplicates the highest-degree vertex on one side:
+// the clone (id = side size) gets an identical neighborhood. R-sets (or
+// L-sets) of the transformed graph must contain the clone exactly when
+// they contain the original; stripping the clone is then a bijection back
+// onto the original biclique set.
+func dupVertexTransform(uSide bool) func(*graph.Bipartite) (*graph.Bipartite, MapBack, error) {
+	return func(g *graph.Bipartite) (*graph.Bipartite, MapBack, error) {
+		var target int32 = -1
+		best := 0
+		if uSide {
+			for u := int32(0); u < int32(g.NU()); u++ {
+				if d := g.DegU(u); d > best {
+					best, target = d, u
+				}
+			}
+		} else {
+			for v := int32(0); v < int32(g.NV()); v++ {
+				if d := g.DegV(v); d > best {
+					best, target = d, v
+				}
+			}
+		}
+		if target < 0 {
+			return nil, nil, fmt.Errorf("dup transform needs a non-empty graph")
+		}
+		edges := g.Edges()
+		nu, nv := g.NU(), g.NV()
+		var clone int32
+		if uSide {
+			clone = int32(nu)
+			nu++
+			for _, v := range g.NeighborsOfU(target) {
+				edges = append(edges, graph.Edge{U: clone, V: v})
+			}
+		} else {
+			clone = int32(nv)
+			nv++
+			for _, u := range g.NeighborsOfV(target) {
+				edges = append(edges, graph.Edge{U: u, V: clone})
+			}
+		}
+		ng, err := graph.FromEdges(nu, nv, edges)
+		if err != nil {
+			return nil, nil, err
+		}
+		strip := func(side []int32) ([]int32, error) {
+			hasOrig, hasClone := false, false
+			out := side[:0:0]
+			for _, x := range side {
+				switch x {
+				case target:
+					hasOrig = true
+					out = append(out, x)
+				case clone:
+					hasClone = true
+				default:
+					out = append(out, x)
+				}
+			}
+			if hasOrig != hasClone {
+				return nil, fmt.Errorf("duplicate vertex invariant violated: orig=%v clone=%v", hasOrig, hasClone)
+			}
+			return out, nil
+		}
+		mb := func(L, R []int32) ([]int32, []int32, error) {
+			var err error
+			if uSide {
+				if L, err = strip(L); err != nil {
+					return nil, nil, err
+				}
+			} else {
+				if R, err = strip(R); err != nil {
+					return nil, nil, err
+				}
+			}
+			return L, R, nil
+		}
+		return ng, mb, nil
+	}
+}
+
+func edgePermTransform(seed int64) func(*graph.Bipartite) (*graph.Bipartite, MapBack, error) {
+	return func(g *graph.Bipartite) (*graph.Bipartite, MapBack, error) {
+		rng := rand.New(rand.NewSource(seed))
+		edges := g.Edges()
+		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		ng, err := graph.FromEdges(g.NU(), g.NV(), edges)
+		if err != nil {
+			return nil, nil, err
+		}
+		identity := func(L, R []int32) ([]int32, []int32, error) { return L, R, nil }
+		return ng, identity, nil
+	}
+}
+
+func invert(perm []int) []int32 {
+	inv := make([]int32, len(perm))
+	for old, nw := range perm {
+		inv[nw] = int32(old)
+	}
+	return inv
+}
+
+func mapThrough(ids []int32, inv []int32) []int32 {
+	out := make([]int32, len(ids))
+	for i, x := range ids {
+		out[i] = inv[x]
+	}
+	return out
+}

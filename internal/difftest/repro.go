@@ -1,0 +1,225 @@
+package difftest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// reproHeader is the first line of every repro file.
+const reproHeader = "% mbe difftest repro v1"
+
+// Repro is a standalone, replayable record of a differential
+// disagreement: the (minimized) graph plus the two configs that disagreed
+// on it. Files serialize as a KONECT-style edge list whose '%' comment
+// lines carry the metadata, so any KONECT tool can still read the graph.
+type Repro struct {
+	Graph *graph.Bipartite
+	A, B  Config
+	// Expect records the outcome replay should assert: "mismatch" while
+	// the underlying bug (or injected fault) is live, "agree" once it is
+	// fixed and the file is kept as a regression fixture.
+	Expect string
+	// Note is free-form context (what produced the graph, which PR, …).
+	Note string
+}
+
+// Outcomes a repro can expect on replay.
+const (
+	ExpectMismatch = "mismatch"
+	ExpectAgree    = "agree"
+)
+
+// WriteRepro serializes r.
+func WriteRepro(w io.Writer, r Repro) error {
+	bw := bufio.NewWriter(w)
+	expect := r.Expect
+	if expect == "" {
+		expect = ExpectMismatch
+	}
+	fmt.Fprintln(bw, reproHeader)
+	fmt.Fprintf(bw, "%% expect: %s\n", expect)
+	if r.Note != "" {
+		fmt.Fprintf(bw, "%% note: %s\n", r.Note)
+	}
+	if m := r.Graph.Meta(); m.Generator != "" {
+		fmt.Fprintf(bw, "%% provenance: gen=%s seed=%d params=%q\n", m.Generator, m.Seed, m.Params)
+	}
+	fmt.Fprintf(bw, "%% nu=%d nv=%d\n", r.Graph.NU(), r.Graph.NV())
+	fmt.Fprintf(bw, "%% configA: %s\n", r.A)
+	fmt.Fprintf(bw, "%% configB: %s\n", r.B)
+	for _, e := range r.Graph.Edges() {
+		fmt.Fprintf(bw, "%d %d\n", e.U, e.V)
+	}
+	return bw.Flush()
+}
+
+// ReadRepro parses a repro file. Unlike graph.ReadKonect it does not
+// re-orient or compact ids: the recorded nu/nv are authoritative, so the
+// replay runs on the byte-identical graph the writer minimized.
+func ReadRepro(rd io.Reader) (Repro, error) {
+	var r Repro
+	var nu, nv int
+	haveDims := false
+	var edges []graph.Edge
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if first {
+			if line != reproHeader {
+				return Repro{}, fmt.Errorf("difftest: not a repro file (header %q)", line)
+			}
+			first = false
+			continue
+		}
+		if strings.HasPrefix(line, "%") {
+			body := strings.TrimSpace(strings.TrimPrefix(line, "%"))
+			if n, _ := fmt.Sscanf(body, "nu=%d nv=%d", &nu, &nv); n == 2 {
+				haveDims = true
+				continue
+			}
+			key, val, ok := strings.Cut(body, ":")
+			if !ok {
+				continue
+			}
+			val = strings.TrimSpace(val)
+			var err error
+			switch strings.TrimSpace(key) {
+			case "expect":
+				r.Expect = val
+			case "note":
+				r.Note = val
+			case "configA":
+				r.A, err = ParseConfig(val)
+			case "configB":
+				r.B, err = ParseConfig(val)
+			}
+			if err != nil {
+				return Repro{}, fmt.Errorf("difftest: repro metadata %q: %w", line, err)
+			}
+			continue
+		}
+		var u, v int32
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			return Repro{}, fmt.Errorf("difftest: repro edge line %q: %w", line, err)
+		}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	if err := sc.Err(); err != nil {
+		return Repro{}, err
+	}
+	if first {
+		return Repro{}, fmt.Errorf("difftest: empty repro file")
+	}
+	if !haveDims {
+		return Repro{}, fmt.Errorf("difftest: repro missing %% nu=… nv=… line")
+	}
+	g, err := graph.FromEdges(nu, nv, edges)
+	if err != nil {
+		return Repro{}, fmt.Errorf("difftest: repro graph: %w", err)
+	}
+	r.Graph = g
+	if r.Expect == "" {
+		r.Expect = ExpectMismatch
+	}
+	return r, nil
+}
+
+// LoadRepro reads a repro from disk.
+func LoadRepro(path string) (Repro, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Repro{}, err
+	}
+	defer f.Close()
+	r, err := ReadRepro(f)
+	if err != nil {
+		return Repro{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// SaveRepro writes r into dir with a deterministic content-derived name
+// and returns the path. Identical repros map to identical files, so a
+// test regenerating its fixture leaves the tree unchanged.
+func SaveRepro(dir string, r Repro) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	var d Digest
+	for _, e := range r.Graph.Edges() {
+		d.Add(Fingerprint([]int32{e.U}, []int32{e.V}))
+	}
+	name := fmt.Sprintf("%s-vs-%s-%016x.repro", slug(r.A.Engine.String()), slug(r.B.Engine.String()), d.Sum^d.Fold)
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := WriteRepro(f, r); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// Replay runs both recorded configs on the recorded graph and reports the
+// observed outcome (ExpectMismatch or ExpectAgree) together with the two
+// digests.
+func (r Repro) Replay() (outcome string, a, b Digest, err error) {
+	if a, err = Run(r.Graph, r.A); err != nil {
+		return "", a, b, err
+	}
+	if b, err = Run(r.Graph, r.B); err != nil {
+		return "", a, b, err
+	}
+	if a.Equal(b) {
+		return ExpectAgree, a, b, nil
+	}
+	return ExpectMismatch, a, b, nil
+}
+
+// ListRepros returns the sorted repro files under dir ("" and a missing
+// dir are fine: no repros).
+func ListRepros(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".repro") {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func slug(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}

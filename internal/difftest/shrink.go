@@ -1,0 +1,139 @@
+package difftest
+
+import (
+	"repro/internal/graph"
+)
+
+// Property is a deterministic predicate over graphs that the minimizer
+// preserves while shrinking — canonically "these two configs disagree on
+// this graph".
+type Property func(g *graph.Bipartite) bool
+
+// MismatchProperty returns the predicate "a and b produce different
+// digests on g". Runs that fail outright (harness errors) make the
+// predicate false, so the minimizer never wanders into graphs where the
+// disagreement is not reproduced cleanly.
+func MismatchProperty(a, b Config) Property {
+	return func(g *graph.Bipartite) bool {
+		da, err := Run(g, a)
+		if err != nil {
+			return false
+		}
+		db, err := Run(g, b)
+		if err != nil {
+			return false
+		}
+		return !da.Equal(db)
+	}
+}
+
+// DefaultShrinkBudget caps property evaluations during Minimize. ddmin on
+// e edges needs O(e log e) evaluations in the typical case; the cap only
+// guards against pathological flapping predicates.
+const DefaultShrinkBudget = 600
+
+// Minimize delta-debugs g's edge list down to a 1-minimal set of edges
+// still satisfying prop (removing any single remaining edge breaks it,
+// budget permitting), then compacts away untouched vertices. prop(g) must
+// be true on entry; the returned graph satisfies prop and is never larger
+// than g. budget ≤ 0 means DefaultShrinkBudget.
+//
+// This is Zeller's ddmin over the edge list: try dropping ever-finer
+// complements/chunks, restart coarse after every successful reduction.
+func Minimize(g *graph.Bipartite, prop Property, budget int) *graph.Bipartite {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	edges := g.Edges()
+	nu, nv := g.NU(), g.NV()
+	tryEdges := func(subset []graph.Edge) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		ng, err := graph.FromEdges(nu, nv, subset)
+		if err != nil {
+			return false
+		}
+		return prop(ng)
+	}
+
+	n := 2
+	for len(edges) >= 2 && n <= len(edges) {
+		chunk := (len(edges) + n - 1) / n
+		reduced := false
+		// Try each chunk alone (subset), then each complement.
+		for start := 0; start < len(edges); start += chunk {
+			end := min(start+chunk, len(edges))
+			if end-start == len(edges) {
+				continue
+			}
+			complement := make([]graph.Edge, 0, len(edges)-(end-start))
+			complement = append(complement, edges[:start]...)
+			complement = append(complement, edges[end:]...)
+			if tryEdges(complement) {
+				edges = complement
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n >= len(edges) {
+			break
+		}
+		n = min(n*2, len(edges))
+		if budget <= 0 {
+			break
+		}
+	}
+
+	out, err := graph.FromEdges(nu, nv, edges)
+	if err != nil {
+		return g // unreachable: edges came from g
+	}
+	if compacted, ok := compact(out, prop); ok {
+		return compacted
+	}
+	return out
+}
+
+// compact drops vertices with no remaining edges and relabels the rest
+// densely, re-checking the property (compaction changes ids, and a
+// disagreement can in principle be id-sensitive). Returns ok=false when
+// the compacted graph no longer satisfies prop.
+func compact(g *graph.Bipartite, prop Property) (*graph.Bipartite, bool) {
+	mapU := make([]int32, g.NU())
+	mapV := make([]int32, g.NV())
+	for i := range mapU {
+		mapU[i] = -1
+	}
+	for i := range mapV {
+		mapV[i] = -1
+	}
+	var nu, nv int32
+	edges := g.Edges()
+	for _, e := range edges {
+		if mapU[e.U] < 0 {
+			mapU[e.U] = nu
+			nu++
+		}
+		if mapV[e.V] < 0 {
+			mapV[e.V] = nv
+			nv++
+		}
+	}
+	if int(nu) == g.NU() && int(nv) == g.NV() {
+		return g, true // nothing to compact
+	}
+	for i, e := range edges {
+		edges[i] = graph.Edge{U: mapU[e.U], V: mapV[e.V]}
+	}
+	ng, err := graph.FromEdges(int(nu), int(nv), edges)
+	if err != nil || !prop(ng) {
+		return nil, false
+	}
+	return ng, true
+}

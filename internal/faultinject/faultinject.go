@@ -29,11 +29,26 @@ const (
 	// FaultAllocFail returns ErrAllocFail; engines degrade exactly as if
 	// the run's memory budget were exhausted.
 	FaultAllocFail
+	// FaultSkip returns ErrSkip. Harness-level sites (the differential
+	// tester's emission wrapper) interpret it as "silently drop this
+	// event" — a seeded correctness mutation rather than a crash.
+	FaultSkip
+	// FaultDup returns ErrDup: the harness replays the event twice,
+	// simulating a double emission.
+	FaultDup
 )
 
 // ErrAllocFail is the simulated allocation failure returned by an armed
 // FaultAllocFail site.
 var ErrAllocFail = errors.New("faultinject: simulated allocation failure")
+
+// ErrSkip is returned by an armed FaultSkip site: the caller should drop
+// the event that reached the site.
+var ErrSkip = errors.New("faultinject: drop this event")
+
+// ErrDup is returned by an armed FaultDup site: the caller should process
+// the event that reached the site twice.
+var ErrDup = errors.New("faultinject: duplicate this event")
 
 // PanicValue is the value an injected panic carries, so recovery paths and
 // tests can recognize synthetic faults.
@@ -114,6 +129,18 @@ func (in *Injector) FailAllocAt(site string, visit uint64) {
 	in.arm(site, &rule{kind: FaultAllocFail, at: max(visit, 1), every: 1})
 }
 
+// SkipAt arms site to return ErrSkip on exactly its visit-th invocation
+// (1-based): one event is silently dropped.
+func (in *Injector) SkipAt(site string, visit uint64) {
+	in.arm(site, &rule{kind: FaultSkip, at: max(visit, 1)})
+}
+
+// DupAt arms site to return ErrDup on exactly its visit-th invocation
+// (1-based): one event is processed twice.
+func (in *Injector) DupAt(site string, visit uint64) {
+	in.arm(site, &rule{kind: FaultDup, at: max(visit, 1)})
+}
+
 // Visits returns how many times site has been reached so far.
 func (in *Injector) Visits(site string) uint64 {
 	if r, ok := in.rules[site]; ok {
@@ -143,6 +170,10 @@ func (in *Injector) Hook() func(site string) error {
 			return nil
 		case FaultAllocFail:
 			return fmt.Errorf("%w (site %s, visit %d)", ErrAllocFail, site, n)
+		case FaultSkip:
+			return ErrSkip
+		case FaultDup:
+			return ErrDup
 		}
 		return nil
 	}

@@ -114,3 +114,33 @@ func TestLeakCheckPassesOnCleanFunction(t *testing.T) {
 	<-ch
 	done()
 }
+
+func TestSkipAtFiresExactlyOnce(t *testing.T) {
+	in := New(1)
+	in.SkipAt("s", 3)
+	hook := in.Hook()
+	for i := 1; i <= 6; i++ {
+		err := hook("s")
+		if i == 3 {
+			if !errors.Is(err, ErrSkip) {
+				t.Fatalf("visit %d: err = %v, want ErrSkip", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("visit %d: err = %v, want nil", i, err)
+		}
+	}
+}
+
+func TestDupAtFiresExactlyOnce(t *testing.T) {
+	in := New(1)
+	in.DupAt("s", 1)
+	hook := in.Hook()
+	if err := hook("s"); !errors.Is(err, ErrDup) {
+		t.Fatalf("visit 1: err = %v, want ErrDup", err)
+	}
+	if err := hook("s"); err != nil {
+		t.Fatalf("visit 2: err = %v, want nil", err)
+	}
+}

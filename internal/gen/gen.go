@@ -12,13 +12,30 @@
 //   - SampleEdges: uniform edge sampling from a parent graph, the exact
 //     protocol the paper applies to LiveJournal for LJ10–LJ50.
 //
-// All generators are deterministic in their seed.
+// Every generator is deterministic and self-seeding: the PRNG is an
+// explicit rand.New(rand.NewSource(seed)) threaded through the whole
+// construction (never the global rand, whose top-level functions are
+// randomly seeded since Go 1.20), and the seed plus the full parameter set
+// are recorded in the returned graph's Meta, so any generated graph — in
+// particular one a differential test failed on — can be rebuilt
+// byte-for-byte from its metadata alone via FromMeta.
 package gen
 
 import (
+	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"repro/internal/graph"
+)
+
+// Generator names recorded in graph.Meta.Generator.
+const (
+	GenUniform     = "uniform"
+	GenPowerLaw    = "powerlaw"
+	GenAffiliation = "affiliation"
+	GenSample      = "sample"
 )
 
 // Uniform returns a graph with nu×nv vertices and ~m uniformly random
@@ -33,7 +50,11 @@ func Uniform(seed int64, nu, nv, m int) *graph.Bipartite {
 	if err != nil {
 		panic(err) // endpoints are in range by construction
 	}
-	return g
+	return g.WithMeta(graph.Meta{
+		Generator: GenUniform,
+		Seed:      seed,
+		Params:    fmt.Sprintf("nu=%d nv=%d m=%d", nu, nv, m),
+	})
 }
 
 // PowerLaw returns a graph with ~m edges whose endpoints are drawn from
@@ -57,7 +78,12 @@ func PowerLaw(seed int64, nu, nv, m int, sU, sV float64) *graph.Bipartite {
 	if err != nil {
 		panic(err)
 	}
-	return g
+	return g.WithMeta(graph.Meta{
+		Generator: GenPowerLaw,
+		Seed:      seed,
+		Params: fmt.Sprintf("nu=%d nv=%d m=%d su=%s sv=%s",
+			nu, nv, m, formatFloat(sU), formatFloat(sV)),
+	})
 }
 
 // AffiliationConfig parameterizes the planted-community generator.
@@ -77,7 +103,7 @@ type AffiliationConfig struct {
 func Affiliation(seed int64, cfg AffiliationConfig) *graph.Bipartite {
 	rng := rand.New(rand.NewSource(seed))
 	var edges []graph.Edge
-	sizeAround := func(mean int) int {
+	sizeAround := func(rng *rand.Rand, mean int) int {
 		if mean <= 1 {
 			return 1
 		}
@@ -86,7 +112,7 @@ func Affiliation(seed int64, cfg AffiliationConfig) *graph.Bipartite {
 		return s
 	}
 	for c := 0; c < cfg.Communities; c++ {
-		su, sv := sizeAround(cfg.MeanU), sizeAround(cfg.MeanV)
+		su, sv := sizeAround(rng, cfg.MeanU), sizeAround(rng, cfg.MeanV)
 		us := make([]int32, su)
 		for i := range us {
 			us[i] = int32(rng.Intn(cfg.NU))
@@ -113,12 +139,21 @@ func Affiliation(seed int64, cfg AffiliationConfig) *graph.Bipartite {
 	if err != nil {
 		panic(err)
 	}
-	return g
+	return g.WithMeta(graph.Meta{
+		Generator: GenAffiliation,
+		Seed:      seed,
+		Params: fmt.Sprintf("nu=%d nv=%d c=%d mu=%d mv=%d density=%s noise=%d",
+			cfg.NU, cfg.NV, cfg.Communities, cfg.MeanU, cfg.MeanV,
+			formatFloat(cfg.Density), cfg.NoiseEdges),
+	})
 }
 
 // SampleEdges returns a graph over the same vertex sets containing each
 // edge of g independently with probability frac — the paper's LiveJournal
 // sampling protocol ("LJx represents x% of LiveJournal's edges are used").
+// The result's Meta records the sampling seed and fraction; it is
+// replayable via FromMeta only when the parent graph itself carries
+// generator metadata (the parent's meta is embedded in Params).
 func SampleEdges(g *graph.Bipartite, frac float64, seed int64) *graph.Bipartite {
 	rng := rand.New(rand.NewSource(seed))
 	var kept []graph.Edge
@@ -133,5 +168,165 @@ func SampleEdges(g *graph.Bipartite, frac float64, seed int64) *graph.Bipartite 
 	if err != nil {
 		panic(err)
 	}
-	return ng
+	pm := g.Meta()
+	return ng.WithMeta(graph.Meta{
+		Generator: GenSample,
+		Seed:      seed,
+		Params: fmt.Sprintf("frac=%s parent.gen=%s parent.seed=%d parent.params=%q",
+			formatFloat(frac), pm.Generator, pm.Seed, pm.Params),
+	})
+}
+
+// formatFloat renders a float so that ParseFloat round-trips it exactly.
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// FromMeta rebuilds the exact graph described by m — same generator, seed
+// and parameters, hence byte-for-byte identical edges. It is the replay
+// half of the self-seeding contract: a failing test needs to persist only
+// the three Meta fields to make the input reproducible.
+func FromMeta(m graph.Meta) (*graph.Bipartite, error) {
+	kv, err := parseParams(m.Params)
+	if err != nil {
+		return nil, fmt.Errorf("gen: meta params %q: %w", m.Params, err)
+	}
+	switch m.Generator {
+	case GenUniform:
+		nu, nv, me, err := kv.ints("nu", "nv", "m")
+		if err != nil {
+			return nil, err
+		}
+		return Uniform(m.Seed, nu, nv, me), nil
+	case GenPowerLaw:
+		nu, nv, me, err := kv.ints("nu", "nv", "m")
+		if err != nil {
+			return nil, err
+		}
+		su, err := kv.float("su")
+		if err != nil {
+			return nil, err
+		}
+		sv, err := kv.float("sv")
+		if err != nil {
+			return nil, err
+		}
+		return PowerLaw(m.Seed, nu, nv, me, su, sv), nil
+	case GenAffiliation:
+		nu, nv, c, err := kv.ints("nu", "nv", "c")
+		if err != nil {
+			return nil, err
+		}
+		mu, mv, noise, err := kv.ints("mu", "mv", "noise")
+		if err != nil {
+			return nil, err
+		}
+		density, err := kv.float("density")
+		if err != nil {
+			return nil, err
+		}
+		return Affiliation(m.Seed, AffiliationConfig{
+			NU: nu, NV: nv, Communities: c, MeanU: mu, MeanV: mv,
+			Density: density, NoiseEdges: noise,
+		}), nil
+	case GenSample:
+		pg, ok := kv["parent.gen"]
+		if !ok || pg == "" {
+			return nil, fmt.Errorf("gen: sample meta has no replayable parent")
+		}
+		pseed, err := strconv.ParseInt(kv["parent.seed"], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gen: sample parent.seed: %w", err)
+		}
+		pparams, err := strconv.Unquote(kv["parent.params"])
+		if err != nil {
+			return nil, fmt.Errorf("gen: sample parent.params: %w", err)
+		}
+		parent, err := FromMeta(graph.Meta{Generator: pg, Seed: pseed, Params: pparams})
+		if err != nil {
+			return nil, err
+		}
+		frac, err := kv.float("frac")
+		if err != nil {
+			return nil, err
+		}
+		return SampleEdges(parent, frac, m.Seed), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown generator %q", m.Generator)
+	}
+}
+
+// params is the parsed key=value form of a Meta.Params string.
+type params map[string]string
+
+// parseParams splits "k=v k=v ..." honouring quoted values (parent.params).
+func parseParams(s string) (params, error) {
+	kv := make(params)
+	for len(s) > 0 {
+		s = strings.TrimLeft(s, " ")
+		if s == "" {
+			break
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("malformed at %q", s)
+		}
+		key := s[:eq]
+		rest := s[eq+1:]
+		var val string
+		if strings.HasPrefix(rest, `"`) {
+			// Quoted value: find the closing unescaped quote.
+			i := 1
+			for i < len(rest) {
+				if rest[i] == '\\' {
+					i += 2
+					continue
+				}
+				if rest[i] == '"' {
+					break
+				}
+				i++
+			}
+			if i >= len(rest) {
+				return nil, fmt.Errorf("unterminated quote in %q", rest)
+			}
+			val = rest[:i+1]
+			s = rest[i+1:]
+		} else {
+			sp := strings.IndexByte(rest, ' ')
+			if sp < 0 {
+				val, s = rest, ""
+			} else {
+				val, s = rest[:sp], rest[sp:]
+			}
+		}
+		kv[key] = val
+	}
+	return kv, nil
+}
+
+func (p params) ints(keys ...string) (int, int, int, error) {
+	var out [3]int
+	for i, k := range keys {
+		v, ok := p[k]
+		if !ok {
+			return 0, 0, 0, fmt.Errorf("gen: missing param %q", k)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("gen: param %q: %w", k, err)
+		}
+		out[i] = n
+	}
+	return out[0], out[1], out[2], nil
+}
+
+func (p params) float(key string) (float64, error) {
+	v, ok := p[key]
+	if !ok {
+		return 0, fmt.Errorf("gen: missing param %q", key)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("gen: param %q: %w", key, err)
+	}
+	return f, nil
 }

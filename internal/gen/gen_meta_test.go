@@ -1,0 +1,102 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// identical asserts byte-for-byte equality via the binary cache format
+// (dims + CSR), the strongest equality the substrate exposes.
+func identical(t *testing.T, a, b *graph.Bipartite) {
+	t.Helper()
+	var ba, bb bytes.Buffer
+	if err := a.WriteBinary(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteBinary(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatalf("graphs differ: %d vs %d bytes", ba.Len(), bb.Len())
+	}
+}
+
+func TestMetaRecordedAndReplayable(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *graph.Bipartite
+		gen   string
+		seed  int64
+	}{
+		{"uniform", func() *graph.Bipartite { return Uniform(42, 80, 40, 300) }, GenUniform, 42},
+		{"powerlaw", func() *graph.Bipartite { return PowerLaw(7, 90, 45, 350, 1.5, 2.25) }, GenPowerLaw, 7},
+		{"affiliation", func() *graph.Bipartite {
+			return Affiliation(11, AffiliationConfig{
+				NU: 60, NV: 30, Communities: 6, MeanU: 5, MeanV: 4,
+				Density: 0.85, NoiseEdges: 25,
+			})
+		}, GenAffiliation, 11},
+		{"sample-of-uniform", func() *graph.Bipartite {
+			return SampleEdges(Uniform(42, 80, 40, 300), 0.5, 99)
+		}, GenSample, 99},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.build()
+			m := g.Meta()
+			if m.Generator != tc.gen {
+				t.Fatalf("Generator = %q, want %q", m.Generator, tc.gen)
+			}
+			if m.Seed != tc.seed {
+				t.Fatalf("Seed = %d, want %d", m.Seed, tc.seed)
+			}
+			if m.Params == "" {
+				t.Fatal("Params empty")
+			}
+			replayed, err := FromMeta(m)
+			if err != nil {
+				t.Fatalf("FromMeta: %v", err)
+			}
+			identical(t, g, replayed)
+			if replayed.Meta() != m {
+				t.Fatalf("replayed meta %+v != original %+v", replayed.Meta(), m)
+			}
+		})
+	}
+}
+
+func TestMetaSurvivesDerivedGraphs(t *testing.T) {
+	g := Uniform(5, 30, 60, 120) // nv > nu so Orient swaps
+	m := g.Meta()
+	if got := g.Orient().Meta(); got != m {
+		t.Fatalf("Orient dropped meta: %+v", got)
+	}
+	if got := g.Swapped().Meta(); got != m {
+		t.Fatalf("Swapped dropped meta: %+v", got)
+	}
+	perm := make([]int32, g.NV())
+	for i := range perm {
+		perm[i] = int32(g.NV() - 1 - i)
+	}
+	pg, err := g.PermuteV(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pg.Meta(); got != m {
+		t.Fatalf("PermuteV dropped meta: %+v", got)
+	}
+}
+
+func TestFromMetaRejectsUnknown(t *testing.T) {
+	if _, err := FromMeta(graph.Meta{Generator: "nope"}); err == nil {
+		t.Fatal("want error for unknown generator")
+	}
+	if _, err := FromMeta(graph.Meta{Generator: GenUniform, Params: "nu=1"}); err == nil {
+		t.Fatal("want error for missing params")
+	}
+	if _, err := FromMeta(graph.Meta{Generator: GenSample, Params: `frac=0.5 parent.gen= parent.seed=0 parent.params=""`}); err == nil {
+		t.Fatal("want error for non-replayable sample parent")
+	}
+}

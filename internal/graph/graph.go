@@ -28,6 +28,34 @@ type Bipartite struct {
 	// U-side CSR: neighbors (in V) of each u.
 	uOff []int64
 	uAdj []int32
+
+	// meta is generation provenance, if any (see Meta).
+	meta Meta
+}
+
+// Meta records the provenance of a generated graph: which generator built
+// it, from which seed, with which parameters. It exists so that any graph
+// a test fails on can be rebuilt byte-for-byte from three fields (see
+// gen.FromMeta). Loaded graphs carry the zero Meta.
+type Meta struct {
+	// Generator is the gen constructor name ("uniform", "powerlaw",
+	// "affiliation", "sample"), or "" for non-generated graphs.
+	Generator string
+	// Seed is the PRNG seed the generator was called with.
+	Seed int64
+	// Params is the generator's canonical "key=value ..." parameter string.
+	Params string
+}
+
+// Meta returns the graph's provenance metadata (zero for loaded graphs).
+func (g *Bipartite) Meta() Meta { return g.meta }
+
+// WithMeta returns a copy of g (sharing CSR storage) carrying m as its
+// provenance metadata.
+func (g *Bipartite) WithMeta(m Meta) *Bipartite {
+	ng := *g
+	ng.meta = m
+	return &ng
 }
 
 // Edge is a single (u, v) edge with u ∈ U, v ∈ V.
@@ -86,12 +114,14 @@ func (g *Bipartite) Edges() []Edge {
 	return out
 }
 
-// Swapped returns a graph with the U and V sides exchanged.
+// Swapped returns a graph with the U and V sides exchanged. Provenance
+// metadata is preserved.
 func (g *Bipartite) Swapped() *Bipartite {
 	return &Bipartite{
 		nu: g.nv, nv: g.nu,
 		vOff: g.uOff, vAdj: g.uAdj,
 		uOff: g.vOff, uAdj: g.vAdj,
+		meta: g.meta,
 	}
 }
 
@@ -133,6 +163,7 @@ func (g *Bipartite) PermuteV(perm []int32) (*Bipartite, error) {
 		vAdj: make([]int32, len(g.vAdj)),
 		uOff: g.uOff,
 		uAdj: make([]int32, len(g.uAdj)),
+		meta: g.meta,
 	}
 	// V-side CSR: rows move wholesale; contents (U ids) are unchanged.
 	for newID := 0; newID < g.nv; newID++ {
