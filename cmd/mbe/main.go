@@ -5,11 +5,18 @@
 //	mbe -d GH -a AdaMBE               # built-in synthetic dataset
 //	mbe -d BX -a FMBE -tle 30s        # competitor with a time budget
 //	mbe -d UL -print                  # print every maximal biclique
+//	mbe -d GH -t 8 -progress 10s -events run.jsonl -debug-addr :6060
 //
 // Input is a KONECT-format edge list (-i), a binary cache (-bin), or a
 // named synthetic dataset (-d). The graph is oriented so the smaller side
 // is V. Output reports the count, runtime (enumeration only, as in the
 // paper) and basic graph statistics.
+//
+// Live observability (docs/OBSERVABILITY.md): -progress prints a periodic
+// rate/ETA line to stderr, -events writes the structured JSONL event
+// stream (plot it with mbeplot -events), and -debug-addr serves
+// /debug/progress, expvar and pprof (including live execution traces) over
+// HTTP while the run is in flight.
 package main
 
 import (
@@ -19,12 +26,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"sync"
-	"sync/atomic"
+	"runtime"
 	"syscall"
 	"time"
 
 	mbe "repro"
+	"repro/internal/obs"
 )
 
 var algorithms = map[string]mbe.Algorithm{
@@ -49,22 +56,25 @@ var orderings = map[string]mbe.Ordering{
 
 func main() {
 	var (
-		input    = flag.String("i", "", "input KONECT edge-list file")
-		binary   = flag.String("bin", "", "input binary graph cache (see mbegen -bin)")
-		dataset  = flag.String("d", "", "built-in synthetic dataset name (e.g. GH, BX, ceb, LJ30)")
-		algo     = flag.String("a", "AdaMBE", "algorithm: AdaMBE|ParAdaMBE|Baseline|AdaMBE-LN|AdaMBE-BIT|FMBE|PMBE|ooMBEA|ParMBE|GMBE")
-		threads  = flag.Int("t", 0, "threads for parallel algorithms (0 = all cores)")
-		tau      = flag.Int("tau", 0, "bitmap threshold τ (0 = 64)")
-		ord      = flag.String("o", "asc", "vertex ordering for the AdaMBE family: asc|rand|uc|none")
-		seed     = flag.Int64("seed", 0, "seed for -o rand")
-		tle      = flag.Duration("tle", 0, "time budget (0 = unlimited); partial count reported on expiry")
-		maxMem   = flag.Int64("maxmem", 0, "soft engine-memory budget in MiB (0 = unlimited); partial count reported when exceeded")
-		print    = flag.Bool("print", false, "print every maximal biclique to stdout")
-		progress = flag.Duration("progress", 0, "print a progress line every interval (e.g. 10s)")
-		find     = flag.String("find", "", "optimization instead of enumeration: edge|balanced|vertex")
-		query    = flag.Int("query", -1, "personalized maximum biclique containing V-side vertex N")
-		minL     = flag.Int("minl", 0, "size-bounded enumeration: require |L| ≥ minl (with -minr)")
-		minR     = flag.Int("minr", 0, "size-bounded enumeration: require |R| ≥ minr (with -minl)")
+		input     = flag.String("i", "", "input KONECT edge-list file")
+		binary    = flag.String("bin", "", "input binary graph cache (see mbegen -bin)")
+		dataset   = flag.String("d", "", "built-in synthetic dataset name (e.g. GH, BX, ceb, LJ30)")
+		algo      = flag.String("a", "AdaMBE", "algorithm: AdaMBE|ParAdaMBE|Baseline|AdaMBE-LN|AdaMBE-BIT|FMBE|PMBE|ooMBEA|ParMBE|GMBE")
+		threads   = flag.Int("t", 0, "threads for parallel algorithms (0 = all cores)")
+		tau       = flag.Int("tau", 0, "bitmap threshold τ (0 = 64)")
+		ord       = flag.String("o", "asc", "vertex ordering for the AdaMBE family: asc|rand|uc|none")
+		seed      = flag.Int64("seed", 0, "seed for -o rand")
+		tle       = flag.Duration("tle", 0, "time budget (0 = unlimited); partial count reported on expiry")
+		maxMem    = flag.Int64("maxmem", 0, "soft engine-memory budget in MiB (0 = unlimited); partial count reported when exceeded")
+		print     = flag.Bool("print", false, "print every maximal biclique to stdout")
+		progress  = flag.Duration("progress", 0, "print a progress line every interval (e.g. 10s)")
+		events    = flag.String("events", "", "write JSONL observability events (run_start/sample/phase/worker_stall/run_end) to this file")
+		sample    = flag.Duration("sample", time.Second, "sampling interval for -events and -debug-addr snapshots")
+		debugAddr = flag.String("debug-addr", "", "serve /debug (progress JSON, expvar, pprof) on this address during the run")
+		find      = flag.String("find", "", "optimization instead of enumeration: edge|balanced|vertex")
+		query     = flag.Int("query", -1, "personalized maximum biclique containing V-side vertex N")
+		minL      = flag.Int("minl", 0, "size-bounded enumeration: require |L| ≥ minl (with -minr)")
+		minR      = flag.Int("minr", 0, "size-bounded enumeration: require |R| ≥ minr (with -minl)")
 	)
 	flag.Parse()
 
@@ -86,6 +96,19 @@ func main() {
 
 	st := g.Stats()
 	fmt.Printf("graph: |U|=%d |V|=%d |E|=%d\n", st.NU, st.NV, st.Edges)
+
+	// The debug endpoint is useful in every mode (pprof profiles and
+	// execution traces work even for the finder modes), so it starts before
+	// the mode dispatch.
+	if *debugAddr != "" {
+		bound, shutdown, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbe: debug endpoint:", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "mbe: serving /debug on http://%s\n", bound)
+	}
 
 	if *find != "" || *query >= 0 || *minL > 0 || *minR > 0 {
 		if err := runFinder(g, *find, *query, *minL, *minR, *threads, *tau, *tle); err != nil {
@@ -120,12 +143,11 @@ func main() {
 			fmt.Printf("L=%v R=%v\n", L, R)
 		}
 	}
-	if *progress > 0 {
-		stop := startProgress(&opts, *progress)
-		defer stop()
-	}
+	finishObs := startObs(&opts, g, a, *dataset+*input+*binary,
+		*threads, *progress, *sample, *events, *debugAddr != "")
 
 	res, err := mbe.Enumerate(g, opts)
+	finishObs(res.StopReason.String())
 	if err != nil && !errors.Is(err, mbe.ErrPanic) {
 		fmt.Fprintln(os.Stderr, "mbe:", err)
 		os.Exit(1)
@@ -153,41 +175,113 @@ func main() {
 	}
 }
 
-// startProgress wraps the options' handler with an atomic counter and
-// prints an enumeration-rate line at each interval (the paper's Fig. 9b
-// style progress reporting for billion-biclique runs).
-func startProgress(opts *mbe.Options, every time.Duration) (stop func()) {
-	var n atomic.Int64
-	inner := opts.OnBiclique
-	opts.OnBiclique = func(L, R []int32) {
-		n.Add(1)
-		if inner != nil {
-			inner(L, R)
+// startObs attaches the live observability stack to an enumeration run:
+// a Recorder wired into the engine (Options.Obs), the progress sampler
+// (stderr rate line and/or a JSONL event file), and the /debug/progress
+// registry. It returns a finish function to call once Enumerate returns —
+// on every exit path — which records the stop reason, takes the final
+// sample and flushes the event file. When no observability flag is set it
+// is a no-op returning a no-op.
+func startObs(opts *mbe.Options, g *mbe.Graph, a mbe.Algorithm, dataset string,
+	threads int, progress, sample time.Duration, events string, debug bool) func(stopReason string) {
+	if progress <= 0 && events == "" && !debug {
+		return func(string) {}
+	}
+	width := 1
+	switch a {
+	case mbe.ParAdaMBE, mbe.ParMBE, mbe.GMBESim:
+		width = threads
+		if width == 0 {
+			width = runtime.GOMAXPROCS(0)
 		}
 	}
-	done := make(chan struct{})
-	var wg sync.WaitGroup
-	wg.Add(1)
-	start := time.Now()
-	go func() {
-		defer wg.Done()
-		tick := time.NewTicker(every)
-		defer tick.Stop()
-		for {
-			select {
-			case <-done:
-				return
-			case <-tick.C:
-				el := time.Since(start).Round(time.Second)
-				cnt := n.Load()
-				rate := float64(cnt) / time.Since(start).Seconds()
-				fmt.Fprintf(os.Stderr, "progress: %d maximal bicliques in %v (%.0f/s)\n", cnt, el, rate)
+	rec := mbe.NewRecorder(mbe.RunInfo{
+		Algorithm: a.String(), Dataset: dataset, Threads: width,
+		NU: g.NU(), NV: g.NV(), Edges: g.NumEdges(),
+	})
+	external := !isCoreAlgorithm(a)
+	if external {
+		// The competitor engines carry no probes: feed the biclique counter
+		// from the delivery handler so the sampler still sees live counts,
+		// and drive the run lifecycle from here instead of the engine.
+		rec.RunBegin(obs.RunConfig{Workers: 1, Deadline: opts.Deadline, MemBudgetBytes: opts.MaxMemoryBytes})
+		probe := rec.Worker(0)
+		probe.SetState(obs.StateBusy)
+		inner := opts.OnBiclique
+		opts.OnBiclique = func(L, R []int32) {
+			probe.Biclique()
+			if inner != nil {
+				inner(L, R)
 			}
 		}
-	}()
-	return func() {
-		close(done)
-		wg.Wait()
+	} else {
+		opts.Obs = rec
+	}
+	if debug {
+		obs.Publish(rec)
+	}
+	so := obs.SamplerOptions{Interval: sample, OnSample: progressPrinter(progress)}
+	var sink *obs.JSONLSink
+	var eventsFile *os.File
+	if events != "" {
+		f, err := os.Create(events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbe: events:", err)
+			os.Exit(1)
+		}
+		eventsFile = f
+		sink = obs.NewJSONLSink(f)
+		so.Sink = sink
+	}
+	stop := obs.StartSampler(rec, so)
+	return func(stopReason string) {
+		if external {
+			rec.Finish(stopReason)
+		}
+		stop()
+		if sink != nil {
+			if err := sink.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "mbe: events:", err)
+			}
+			if err := eventsFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mbe: events:", err)
+			}
+		}
+	}
+}
+
+func isCoreAlgorithm(a mbe.Algorithm) bool {
+	switch a {
+	case mbe.AdaMBE, mbe.ParAdaMBE, mbe.BaselineMBE, mbe.AdaMBELN, mbe.AdaMBEBIT:
+		return true
+	}
+	return false
+}
+
+// progressPrinter returns the sampler hook behind -progress: the classic
+// stderr rate line, throttled to at most one line per interval, with the
+// root-frontier ETA appended once the frontier has moved.
+func progressPrinter(every time.Duration) func(obs.Event) {
+	if every <= 0 {
+		return nil
+	}
+	last := time.Now() // first line lands ~one interval in, as before
+	return func(e obs.Event) {
+		if e.Snap == nil {
+			return
+		}
+		now := time.Now()
+		if now.Sub(last) < every-50*time.Millisecond {
+			return
+		}
+		last = now
+		el := (time.Duration(e.TMS) * time.Millisecond).Round(time.Second)
+		line := fmt.Sprintf("progress: %d maximal bicliques in %v (%.0f/s)",
+			e.Snap.Bicliques, el, e.BicliquesPerSec)
+		if e.EtaMS > 0 {
+			line += fmt.Sprintf(", eta ~%v", (time.Duration(e.EtaMS) * time.Millisecond).Round(time.Second))
+		}
+		fmt.Fprintln(os.Stderr, line)
 	}
 }
 

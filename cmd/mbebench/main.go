@@ -26,17 +26,19 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id: "+strings.Join(harness.ExperimentNames(), "|")+"|all")
-		quick   = flag.Bool("quick", false, "smoke-sized datasets and budgets")
-		tle     = flag.Duration("tle", 0, "per-run time budget (default 60s, quick 10s)")
-		threads = flag.Int("t", 0, "parallel width (0 = all cores)")
-		csvDir  = flag.String("csv", "", "directory for CSV series (optional)")
-		dsets   = flag.String("datasets", "", "comma-separated dataset override (acronyms)")
-		jsonOut = flag.String("json", "", "write the parallel-scheduler benchmark trajectory to this file and exit")
+		exp       = flag.String("exp", "", "experiment id: "+strings.Join(harness.ExperimentNames(), "|")+"|all")
+		quick     = flag.Bool("quick", false, "smoke-sized datasets and budgets")
+		tle       = flag.Duration("tle", 0, "per-run time budget (default 60s, quick 10s)")
+		threads   = flag.Int("t", 0, "parallel width (0 = all cores)")
+		csvDir    = flag.String("csv", "", "directory for CSV series (optional)")
+		dsets     = flag.String("datasets", "", "comma-separated dataset override (acronyms)")
+		jsonOut   = flag.String("json", "", "write the parallel-scheduler benchmark trajectory to this file and exit")
+		debugAddr = flag.String("debug-addr", "", "serve /debug (progress, expvar, pprof) on this address and attach live counters to bench runs")
 	)
 	flag.Parse()
 
@@ -58,6 +60,16 @@ func main() {
 	}
 	if *dsets != "" {
 		cfg.Datasets = strings.Split(*dsets, ",")
+	}
+	if *debugAddr != "" {
+		bound, shutdown, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbebench: debug endpoint:", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "mbebench: serving /debug on http://%s\n", bound)
+		cfg.LiveObs = true
 	}
 
 	if *jsonOut != "" {

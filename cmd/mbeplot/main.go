@@ -6,6 +6,12 @@
 //	mbeplot -dir results/
 //
 // One SVG per available figure is written next to its CSV.
+//
+// It also renders the worker-utilization timeline from a live-run JSONL
+// event stream (docs/OBSERVABILITY.md):
+//
+//	mbe -d GH -a ParAdaMBE -t 8 -events run.jsonl
+//	mbeplot -events run.jsonl            # writes run_workers.svg
 package main
 
 import (
@@ -18,7 +24,22 @@ import (
 
 func main() {
 	dir := flag.String("dir", "results", "directory containing figN.csv files")
+	events := flag.String("events", "", "JSONL event stream (mbe -events) to render as a worker-utilization timeline")
+	out := flag.String("o", "", "output SVG path for -events (default: <events>_workers.svg)")
 	flag.Parse()
+
+	if *events != "" {
+		path := *out
+		if path == "" {
+			path = timelineOutPath(*events)
+		}
+		if err := renderTimeline(*events, path); err != nil {
+			fmt.Fprintln(os.Stderr, "mbeplot:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+		return
+	}
 
 	written, err := harness.RenderPlots(*dir)
 	if err != nil {

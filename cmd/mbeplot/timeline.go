@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/svgplot"
+)
+
+// knownStates orders the canonical worker states in the legend; states the
+// schema grows later still render, appended after these.
+var knownStates = []string{"busy", "steal", "park", "idle", "done"}
+
+// renderTimeline reads a JSONL observability event stream (written by
+// `mbe -events` or any obs.JSONLSink) and renders the worker-utilization
+// timeline: for each sampler tick, the share of workers in each state as a
+// 100%-stacked bar. Long runs are subsampled to at most 48 ticks so the
+// time labels stay readable.
+func renderTimeline(eventsPath, outPath string) error {
+	f, err := os.Open(eventsPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	evs, err := obs.ReadEvents(f)
+	if err != nil {
+		return err
+	}
+
+	type tick struct {
+		label  string
+		counts map[string]float64
+	}
+	title := "Worker utilization"
+	var ticks []tick
+	seen := map[string]bool{}
+	for _, e := range evs {
+		switch e.Type {
+		case "run_start":
+			title = fmt.Sprintf("Worker utilization — %s t=%d", e.Algorithm, e.Threads)
+			if e.Dataset != "" {
+				title += " on " + e.Dataset
+			}
+		case "sample":
+			if e.Snap == nil || len(e.Snap.Workers) == 0 {
+				continue
+			}
+			c := map[string]float64{}
+			for _, w := range e.Snap.Workers {
+				c[w.State]++
+				seen[w.State] = true
+			}
+			ticks = append(ticks, tick{label: fmt.Sprintf("%.1fs", e.TMS/1000), counts: c})
+		}
+	}
+	if len(ticks) == 0 {
+		return fmt.Errorf("%s has no sample events with worker rows (was the run observed? see mbe -events)", eventsPath)
+	}
+	const maxTicks = 48
+	if len(ticks) > maxTicks {
+		sub := make([]tick, 0, maxTicks)
+		for i := 0; i < maxTicks; i++ {
+			sub = append(sub, ticks[i*len(ticks)/maxTicks])
+		}
+		ticks = sub
+	}
+
+	var states []string
+	for _, s := range knownStates {
+		if seen[s] {
+			states = append(states, s)
+			delete(seen, s)
+		}
+	}
+	var extra []string
+	for s := range seen {
+		extra = append(extra, s)
+	}
+	sort.Strings(extra)
+	states = append(states, extra...)
+
+	cats := make([]string, len(ticks))
+	series := make([]svgplot.Series, len(states))
+	for si, s := range states {
+		series[si] = svgplot.Series{Name: s, Values: make([]float64, len(ticks))}
+	}
+	for ti, t := range ticks {
+		cats[ti] = t.label
+		for si, s := range states {
+			series[si].Values[ti] = t.counts[s]
+		}
+	}
+
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := svgplot.StackedPercent(out, title, "% of workers", cats, series); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// timelineOutPath derives the SVG path from the events path.
+func timelineOutPath(eventsPath string) string {
+	base := strings.TrimSuffix(eventsPath, ".jsonl")
+	return base + "_workers.svg"
+}

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/obs"
+
 // searchGlobal is Algorithm 1 from the paper: backtracking enumeration that
 // performs every set intersection against the *original* adjacency lists
 // and checks maximality by computing Γ(L') globally. It implements the
@@ -14,7 +16,9 @@ func (e *engine) searchGlobal(L, R []int32, cand []int32, depth int) {
 	}
 	if e.variant == BIT && len(L) <= e.tau && len(cand) > 0 {
 		cg := e.buildBitCGGlobal(L, R, cand)
+		reg := obs.TraceRegion("mbe/bit-subtree")
 		e.searchBitRoot(cg, R)
+		reg.End()
 		return
 	}
 
@@ -78,6 +82,7 @@ func (e *engine) searchGlobal(L, R []int32, cand []int32, depth int) {
 		// to compare sizes. Γ(L') is computed from the global adjacency
 		// of L's minimum-degree vertex — the "outside-CG" accesses the
 		// paper's Fig. 5 measures.
+		e.probe.NodeLN()
 		if e.collect {
 			e.metrics.NodesGenerated++
 		}

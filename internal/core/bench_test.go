@@ -55,7 +55,7 @@ func BenchmarkTauAblation(b *testing.B) {
 // from local-neighborhood data (Algorithm 2 line 5).
 func BenchmarkBitmapCreation(b *testing.B) {
 	g := benchGraph(b)
-	e := newEngine(g, Options{Variant: Ada}, &tle.Shared{})
+	e := newEngine(g, Options{Variant: Ada}, &tle.Shared{}, 0)
 	// A synthetic node: 48 L vertices, 200 candidates with ~16 local nbrs.
 	L := make([]int32, 48)
 	for i := range L {

@@ -146,6 +146,7 @@ func (e *engine) buildBitCGFromLN(L []int32, candIDs []int32, candNbrs [][]int32
 	for j, x := range exclIDs {
 		fill(x, exclNbrs[j])
 	}
+	e.probe.Bitmap()
 	if e.collect {
 		e.metrics.BitmapsCreated++
 	}
@@ -192,6 +193,7 @@ func (e *engine) buildBitCGGlobal(L, R, cand []int32) *bitCG {
 			cg.masks[int(k)*width+(pos>>6)] |= 1 << (uint(pos) & 63)
 		}
 	}
+	e.probe.Bitmap()
 	if e.collect {
 		e.metrics.BitmapsCreated++
 	}
@@ -274,6 +276,7 @@ func (e *engine) searchBit1(cg *bitCG, lp uint64, R []int32, cand, excl []int32)
 				}
 			}
 		}
+		e.probe.NodeBit()
 		if e.collect {
 			e.metrics.NodesGenerated++
 		}
@@ -337,6 +340,7 @@ func (e *engine) searchBit1(cg *bitCG, lp uint64, R []int32, cand, excl []int32)
 // emitBit1 is emitBit for one-word L masks.
 func (e *engine) emitBit1(cg *bitCG, lq uint64, R []int32) {
 	e.count++
+	e.probe.Biclique()
 	if e.handler == nil {
 		return
 	}
@@ -397,6 +401,7 @@ func (e *engine) searchBit(cg *bitCG, depth int, lp bitset.Mask, R []int32, cand
 				}
 			}
 		}
+		e.probe.NodeBit()
 		if e.collect {
 			e.metrics.NodesGenerated++
 		}
@@ -463,6 +468,7 @@ func (e *engine) searchBit(cg *bitCG, depth int, lp bitset.Mask, R []int32, cand
 // the L side only when a handler is attached.
 func (e *engine) emitBit(cg *bitCG, lq bitset.Mask, R []int32) {
 	e.count++
+	e.probe.Biclique()
 	if e.handler == nil {
 		return
 	}

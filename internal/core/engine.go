@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/tle"
 	"repro/internal/vset"
 )
@@ -39,6 +40,10 @@ type engine struct {
 	inSmall bool // currently timing a |L| ≤ τ subtree (Fig. 10d)
 	padBits bool // Options.PadBitmaps
 
+	// probe is this worker's live-counter sink (Options.Obs); nil when
+	// observability is off — every probe method no-ops on nil.
+	probe *obs.WorkerProbe
+
 	ids  slab[int32]   // vertex-id and offset scratch
 	hdrs slab[[]int32] // slice-header scratch for local-neighborhood lists
 
@@ -71,8 +76,10 @@ type engine struct {
 
 // newEngine builds one enumeration engine (the whole run when serial, one
 // worker when parallel). shared carries the run's stop state and memory
-// gauge; every worker of a run must receive the same *tle.Shared.
-func newEngine(g *graph.Bipartite, opts Options, shared *tle.Shared) *engine {
+// gauge; every worker of a run must receive the same *tle.Shared. wid is
+// the worker index used to claim a live-counter probe from Options.Obs
+// (serial runs are worker 0).
+func newEngine(g *graph.Bipartite, opts Options, shared *tle.Shared, wid int) *engine {
 	e := &engine{
 		g:       g,
 		variant: opts.Variant,
@@ -81,6 +88,7 @@ func newEngine(g *graph.Bipartite, opts Options, shared *tle.Shared) *engine {
 		stop:    tle.NewStopper(shared, opts.stopConfig()),
 		hook:    opts.FaultHook,
 		collect: opts.Metrics != nil,
+		probe:   opts.Obs.Worker(wid),
 	}
 	e.skipChild = opts.SkipChild
 	e.skipSubtree = opts.SkipSubtree
@@ -190,6 +198,7 @@ func (e *engine) runGlobalRoot() {
 	}
 	var rs rootScratch
 	for vp := int32(0); vp < int32(nv); vp++ {
+		e.probe.RootAdvance(int64(vp))
 		if g.DegV(vp) == 0 {
 			continue
 		}
@@ -225,6 +234,7 @@ func (e *engine) runGlobalRoot() {
 				nc++
 			}
 		}
+		e.probe.NodeLN()
 		if e.collect {
 			e.metrics.NodesGenerated++
 		}
@@ -259,6 +269,7 @@ func (e *engine) runLNRoot() {
 	e.chargeMem(int64(nv))
 	var rs rootScratch
 	for vp := int32(0); vp < int32(nv); vp++ {
+		e.probe.RootAdvance(int64(vp))
 		if g.DegV(vp) == 0 || pruned[vp] {
 			continue
 		}
@@ -332,6 +343,7 @@ func (e *engine) runLNRoot() {
 			}
 		}
 
+		e.probe.NodeLN()
 		if e.collect {
 			e.metrics.NodesGenerated++
 		}
@@ -362,6 +374,7 @@ func (e *engine) runLNRoot() {
 // emit reports one maximal biclique.
 func (e *engine) emit(L, R []int32) {
 	e.count++
+	e.probe.Biclique()
 	if e.handler != nil {
 		e.handler(L, R)
 	}

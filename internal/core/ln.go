@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/obs"
+
 // searchLN is the AdaMBE large-node procedure (Algorithm 2, lines 8-23):
 // enumeration driven entirely by *local* neighborhoods — the computational
 // subgraph (CG) of the current node — with the three LN redesigns of
@@ -29,7 +31,9 @@ func (e *engine) searchLN(L, R []int32, candIDs []int32, candNbrs [][]int32, exc
 	}
 	if e.variant == Ada && len(L) <= e.tau && len(candIDs) > 0 {
 		cg := e.buildBitCGFromLN(L, candIDs, candNbrs, exclIDs, exclNbrs)
+		reg := obs.TraceRegion("mbe/bit-subtree")
 		e.searchBitRoot(cg, R)
+		reg.End()
 		return
 	}
 
@@ -132,6 +136,7 @@ func (e *engine) searchLN(L, R []int32, candIDs []int32, candNbrs [][]int32, exc
 			}
 		}
 
+		e.probe.NodeLN()
 		if e.collect {
 			e.metrics.NodesGenerated++
 		}

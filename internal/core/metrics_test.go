@@ -1,8 +1,10 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -124,6 +126,122 @@ func TestHistBucket(t *testing.T) {
 		if got := histBucket(n); got != want {
 			t.Fatalf("histBucket(%d) = %d, want %d", n, got, want)
 		}
+	}
+}
+
+// TestHistBucketPowerBoundaries pins the bucket function at every power-of-
+// two edge: 2^k−1 stays in bucket k−1, 2^k opens bucket k, and everything
+// at or beyond 2^20 saturates into the top bucket.
+func TestHistBucketPowerBoundaries(t *testing.T) {
+	for k := 1; k <= 30; k++ {
+		below, at := (1<<k)-1, 1<<k
+		wantBelow := min(k-1, CGHistBuckets-1)
+		wantAt := min(k, CGHistBuckets-1)
+		if got := histBucket(below); got != wantBelow {
+			t.Fatalf("histBucket(2^%d-1) = %d, want %d", k, got, wantBelow)
+		}
+		if got := histBucket(at); got != wantAt {
+			t.Fatalf("histBucket(2^%d) = %d, want %d", k, got, wantAt)
+		}
+	}
+}
+
+// TestObserveNodeBoundaries drops boundary (|L|, |C|) pairs into the joint
+// histogram and checks each lands in exactly the expected cell.
+func TestObserveNodeBoundaries(t *testing.T) {
+	cases := []struct{ lenL, lenC, wantI, wantJ int }{
+		{0, 0, 0, 0},
+		{1, 0, 0, 0},
+		{1, 2, 0, 1},
+		{2, 1, 1, 0},
+		{63, 64, 5, 6},
+		{64, 63, 6, 5},
+		{(1 << 20) - 1, 1 << 20, 19, 20},
+		{1 << 20, 1 << 22, 20, 20},
+	}
+	for _, c := range cases {
+		var m Metrics
+		m.observeNode(c.lenL, c.lenC)
+		for i := range m.CGHist {
+			for j := range m.CGHist[i] {
+				want := int64(0)
+				if i == c.wantI && j == c.wantJ {
+					want = 1
+				}
+				if m.CGHist[i][j] != want {
+					t.Fatalf("observeNode(%d, %d): cell [%d][%d] = %d, expected hit at [%d][%d]",
+						c.lenL, c.lenC, i, j, m.CGHist[i][j], c.wantI, c.wantJ)
+				}
+			}
+		}
+	}
+}
+
+// randomMetrics fills a Metrics with deterministic pseudo-random counters,
+// standing in for one parallel worker's gathered instrumentation.
+func randomMetrics(rng *rand.Rand) *Metrics {
+	m := &Metrics{
+		NodesGenerated:    rng.Int63n(1000),
+		NodesMaximal:      rng.Int63n(1000),
+		NodesNonMaximal:   rng.Int63n(1000),
+		NodesPruned:       rng.Int63n(1000),
+		AccessesInsideCG:  rng.Int63n(1000),
+		AccessesOutsideCG: rng.Int63n(1000),
+		SetIntersections:  rng.Int63n(1000),
+		SmallNodeTime:     time.Duration(rng.Int63n(1e9)),
+		LargeNodeTime:     time.Duration(rng.Int63n(1e9)),
+		BitmapsCreated:    rng.Int63n(1000),
+		TasksSpawned:      rng.Int63n(1000),
+		TasksStolen:       rng.Int63n(1000),
+		TasksInlined:      rng.Int63n(1000),
+		MaxQueueDepth:     rng.Int63n(64),
+	}
+	for i := 0; i < 40; i++ {
+		m.CGHist[rng.Intn(CGHistBuckets)][rng.Intn(CGHistBuckets)] += rng.Int63n(50)
+	}
+	return m
+}
+
+// TestMergeOrderIndependent: merging per-worker metrics must be order-
+// independent (commutative and associative), or parallel runs would report
+// schedule-dependent instrumentation. Simulated by merging the same worker
+// set in shuffled orders and in different groupings.
+func TestMergeOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	workers := make([]*Metrics, 6)
+	for i := range workers {
+		workers[i] = randomMetrics(rng)
+	}
+
+	mergeAll := func(order []int) Metrics {
+		var total Metrics
+		for _, i := range order {
+			total.merge(workers[i])
+		}
+		return total
+	}
+
+	base := mergeAll([]int{0, 1, 2, 3, 4, 5})
+	for trial := 0; trial < 20; trial++ {
+		order := rng.Perm(len(workers))
+		if got := mergeAll(order); got != base {
+			t.Fatalf("merge is order-dependent: order %v gave %+v, want %+v", order, got, base)
+		}
+	}
+
+	// Associativity: ((a+b)+c) == (a+(b+c)) via pre-merged subgroups.
+	var left, lgroup Metrics
+	lgroup.merge(workers[0])
+	lgroup.merge(workers[1])
+	left.merge(&lgroup)
+	left.merge(workers[2])
+	var right, rgroup Metrics
+	rgroup.merge(workers[1])
+	rgroup.merge(workers[2])
+	right.merge(workers[0])
+	right.merge(&rgroup)
+	if left != right {
+		t.Fatalf("merge is not associative: %+v vs %+v", left, right)
 	}
 }
 

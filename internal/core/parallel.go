@@ -5,9 +5,34 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/tle"
 )
+
+// poolObserver adapts the scheduler's lifecycle callbacks onto the run's
+// live-observability recorder: one atomic store per transition, at task
+// granularity.
+type poolObserver struct{ rec *obs.Recorder }
+
+func (o poolObserver) WorkerState(w int, s sched.WorkerState) {
+	var st obs.WorkerState
+	switch s {
+	case sched.StateBusy:
+		st = obs.StateBusy
+	case sched.StateStealing:
+		st = obs.StateStealing
+	case sched.StateParked:
+		st = obs.StateParked
+	case sched.StateDone:
+		st = obs.StateDone
+	default:
+		st = obs.StateIdle
+	}
+	o.rec.Worker(w).SetState(st)
+}
+
+func (o poolObserver) WorkerStole(w int) { o.rec.Worker(w).Steal() }
 
 // Scheduler sizing. The per-worker deque bound keeps the detached-node
 // footprint proportional to the worker count (the queue is backpressure,
@@ -89,6 +114,9 @@ func shouldSpawn(pool *sched.Pool[*detachedNode], w, nCand int) bool {
 func enumerateParallel(g *graph.Bipartite, opts Options, shared *tle.Shared) (Result, error) {
 	threads := opts.Threads
 	pool := sched.NewPool[*detachedNode](threads, parallelQueueCap)
+	if opts.Obs != nil {
+		pool.SetObserver(poolObserver{rec: opts.Obs})
+	}
 	// Seed with a root marker: the worker that picks it up runs the
 	// two-hop root loop, spawning every first-level subtree as a task.
 	pool.Seed(&detachedNode{isRoot: true})
@@ -111,10 +139,38 @@ func enumerateParallel(g *graph.Bipartite, opts Options, shared *tle.Shared) (Re
 				shard = newEmitShard(opts.OnBiclique, &emitMu)
 				workerOpts.OnBiclique = shard.emit
 			}
-			e := newEngine(g, workerOpts, shared)
+			e := newEngine(g, workerOpts, shared, w)
 			if shard != nil {
 				shard.charge = e.chargeMem
 			}
+			// Drain this worker's results on every exit path — normal pool
+			// drain, early stop, or a panic unwinding past the task-level
+			// recovery — through the same flush/reconcile/merge sequence:
+			// registered as a defer right here so a cancellation can never
+			// skip the merge and lose counted bicliques or gathered metrics.
+			defer func() {
+				if shard != nil {
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								panicOnce.Do(func() { panicErr = panicError("ParAdaMBE emit flush", r) })
+								shared.Trip(tle.Aborted)
+							}
+						}()
+						shard.flush()
+					}()
+					// Anything the shard could not deliver is reconciled out
+					// of the count: Result.Count only ever counts bicliques
+					// the handler actually received.
+					e.count -= shard.undelivered()
+				}
+				total.Add(e.count)
+				if opts.Metrics != nil {
+					metricsMu.Lock()
+					opts.Metrics.merge(&e.metrics)
+					metricsMu.Unlock()
+				}
+			}()
 			e.spawn = func(L, R, candIDs []int32, candNbrs [][]int32, exclIDs []int32, exclNbrs [][]int32, depth int) bool {
 				if !shouldSpawn(pool, w, len(candIDs)) {
 					e.metrics.TasksInlined++
@@ -143,6 +199,8 @@ func enumerateParallel(g *graph.Bipartite, opts Options, shared *tle.Shared) (Re
 			// gauge tracks the live detached-node footprint, not
 			// cumulative spawn traffic.
 			runTask := func(n *detachedNode) {
+				e.probe.TaskStart()
+				defer obs.TraceRegion("mbe/task").End()
 				defer pool.TaskDone()
 				defer func() {
 					if r := recover(); r != nil {
@@ -174,31 +232,6 @@ func enumerateParallel(g *graph.Bipartite, opts Options, shared *tle.Shared) (Re
 					break
 				}
 				runTask(n)
-			}
-
-			// Final flush: bicliques buffered when the run ended — normal
-			// drain, cancellation, deadline — are still delivered exactly
-			// once. A handler panicking here is isolated like a task panic,
-			// and anything the shard could not deliver is reconciled out of
-			// the count.
-			if shard != nil {
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							panicOnce.Do(func() { panicErr = panicError("ParAdaMBE emit flush", r) })
-							shared.Trip(tle.Aborted)
-						}
-					}()
-					shard.flush()
-				}()
-				e.count -= shard.undelivered()
-			}
-
-			total.Add(e.count)
-			if opts.Metrics != nil {
-				metricsMu.Lock()
-				opts.Metrics.merge(&e.metrics)
-				metricsMu.Unlock()
 			}
 		}(w)
 	}

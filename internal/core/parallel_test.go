@@ -229,3 +229,54 @@ func TestEmissionHandlerPanicReconciled(t *testing.T) {
 		t.Fatal("no partial count survived the handler panic")
 	}
 }
+
+// TestMetricsMergedUnderCancellation cancels a parallel run mid-flight and
+// checks that every worker's gathered metrics still reach the caller: the
+// drain runs as a deferred step of the worker body, through the same
+// flush/reconcile/merge path as a normal exit, so the merged counters must
+// cover at least every biclique the handler saw. (A dropped merge would
+// leave NodesMaximal short of the delivered count.)
+func TestMetricsMergedUnderCancellation(t *testing.T) {
+	g := randomBipartite(t, 44, 200, 60, 1500)
+	for _, unordered := range []bool{false, true} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var delivered atomic.Int64
+		var m Metrics
+		opts := Options{
+			Variant:       Ada,
+			Threads:       4,
+			Context:       ctx,
+			UnorderedEmit: unordered,
+			Metrics:       &m,
+			OnBiclique: func(L, R []int32) {
+				if delivered.Add(1) == 60 {
+					cancel()
+				}
+			},
+		}
+		res, err := enumerateParallel(g, opts, &tle.Shared{})
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.StopReason != StopCanceled {
+			t.Fatalf("unordered=%v: StopReason = %v, want StopCanceled", unordered, res.StopReason)
+		}
+		if res.Count == 0 {
+			t.Fatalf("unordered=%v: no partial count", unordered)
+		}
+		// Every emitted biclique is a maximal node some worker generated and
+		// instrumented before emitting; a lost merge breaks this bound.
+		if m.NodesMaximal < res.Count {
+			t.Fatalf("unordered=%v: merged NodesMaximal %d < count %d — a worker's metrics were dropped",
+				unordered, m.NodesMaximal, res.Count)
+		}
+		if m.NodesGenerated < m.NodesMaximal {
+			t.Fatalf("unordered=%v: NodesGenerated %d < NodesMaximal %d",
+				unordered, m.NodesGenerated, m.NodesMaximal)
+		}
+		if res.Count != delivered.Load() {
+			t.Fatalf("unordered=%v: count %d ≠ %d deliveries", unordered, res.Count, delivered.Load())
+		}
+	}
+}

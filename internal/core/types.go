@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/tle"
 )
 
@@ -120,6 +121,12 @@ type Options struct {
 	// 5 and 10 (CG-size histogram, inside/outside-CG vertex accesses,
 	// non-maximal node counts, small/large-node time split).
 	Metrics *Metrics
+	// Obs, if non-nil, attaches the live observability recorder: per-worker
+	// atomic counters updated on the hot paths, snapshottable mid-run by
+	// the progress sampler and the /debug endpoint. Unlike Metrics (merged
+	// once at the end), Obs is readable while the run is in flight. Nil
+	// costs one predictable branch per probe site.
+	Obs *obs.Recorder
 
 	// PadBitmaps forces every bitmap CG's mask width to ⌈τ/64⌉ words
 	// instead of ⌈|L*|/64⌉. The paper's τ-sensitivity analysis (Fig. 11,
@@ -385,6 +392,17 @@ func Enumerate(g *graph.Bipartite, opts Options) (Result, error) {
 
 	start := time.Now()
 	shared := &tle.Shared{}
+	workers := 1
+	if opts.Threads > 1 {
+		workers = opts.Threads
+	}
+	opts.Obs.RunBegin(obs.RunConfig{
+		Workers:        workers,
+		Shared:         shared,
+		Deadline:       opts.Deadline,
+		MemBudgetBytes: opts.MaxMemoryBytes,
+		Frontier:       int64(g.NV()),
+	})
 	var res Result
 	var err error
 	if opts.Threads > 1 {
@@ -394,6 +412,7 @@ func Enumerate(g *graph.Bipartite, opts Options) (Result, error) {
 	}
 	res.TimedOut = res.StopReason == StopDeadline
 	res.Elapsed = time.Since(start)
+	opts.Obs.Finish(res.StopReason.String())
 	return res, err
 }
 
@@ -401,7 +420,8 @@ func Enumerate(g *graph.Bipartite, opts Options) (Result, error) {
 // in the engine (or a user handler) becomes an error return carrying the
 // partial count and metrics gathered so far.
 func enumerateSerial(g *graph.Bipartite, opts Options, shared *tle.Shared) (res Result, err error) {
-	e := newEngine(g, opts, shared)
+	e := newEngine(g, opts, shared, 0)
+	e.probe.SetState(obs.StateBusy)
 	defer func() {
 		if opts.Metrics != nil {
 			opts.Metrics.merge(&e.metrics)

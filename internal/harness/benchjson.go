@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/order"
 )
 
@@ -30,9 +31,12 @@ type BenchRun struct {
 // by `mbebench -json` (see EXPERIMENTS.md); wall times are machine-specific
 // but counts are not, which is what makes the file a useful trajectory:
 // diffs show scheduling-behavior changes (spawn/steal/inline mix) exactly
-// and performance changes approximately.
+// and performance changes approximately. The embedded Provenance says which
+// commit, toolchain and machine produced the wall times.
 type BenchFile struct {
-	Tool       string     `json:"tool"`
+	Tool string `json:"tool"`
+	// Provenance fields are inlined at the top level of the JSON object.
+	Provenance
 	GoMaxProcs int        `json:"go_maxprocs"`
 	TLESeconds float64    `json:"tle_seconds"`
 	Runs       []BenchRun `json:"runs"`
@@ -58,6 +62,7 @@ func BenchParallel(cfg Config, outPath string) error {
 	out := cfg.out()
 	file := BenchFile{
 		Tool:       "mbebench -json",
+		Provenance: CollectProvenance(),
 		GoMaxProcs: cfg.threads(),
 		TLESeconds: cfg.tle().Seconds(),
 		Runs:       []BenchRun{},
@@ -65,6 +70,17 @@ func BenchParallel(cfg Config, outPath string) error {
 
 	measure := func(dataset string, g *graph.Bipartite, algo string, threads int) (BenchRun, error) {
 		var m core.Metrics
+		var rec *obs.Recorder
+		if cfg.LiveObs {
+			rec = obs.NewRecorder(obs.RunInfo{
+				Algorithm: algo, Dataset: dataset, Threads: threads,
+				NU: g.NU(), NV: g.NV(), Edges: g.NumEdges(),
+			})
+			// Stays published until the next run replaces it, so a
+			// -debug-addr poller always sees the latest (or final) state;
+			// run_id tells pollers when the run rolled over.
+			obs.Publish(rec)
+		}
 		deadline := time.Now().Add(cfg.tle())
 		start := time.Now()
 		res, err := core.Enumerate(g, core.Options{
@@ -73,6 +89,7 @@ func BenchParallel(cfg Config, outPath string) error {
 			Deadline: deadline,
 			Context:  cfg.ctx(),
 			Metrics:  &m,
+			Obs:      rec,
 		})
 		wall := time.Since(start)
 		if err != nil {

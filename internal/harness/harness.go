@@ -46,6 +46,12 @@ type Config struct {
 	// are reported as TLE-style rows) and makes experiment loops stop
 	// between datasets. Used by mbebench to honor SIGINT.
 	Context context.Context
+	// LiveObs attaches a live observability recorder to each benchmark
+	// enumeration and publishes it to the process's /debug endpoint, so a
+	// -debug-addr poller can watch bench runs in flight. Off by default:
+	// the per-node probe counters are not free, and trajectory numbers
+	// should be measured the way production runs are.
+	LiveObs bool
 }
 
 func (c *Config) ctx() context.Context {

@@ -193,7 +193,7 @@ func plotFig5(rows [][]string, w *os.File) error {
 		outside.Values = append(outside.Values, f64(r[oi]))
 	}
 	return svgplot.StackedPercent(w, "Fig. 5 — vertex accesses inside/outside CGs (Baseline)",
-		cats, []svgplot.Series{inside, outside})
+		"% of accesses", cats, []svgplot.Series{inside, outside})
 }
 
 func plotFig8(rows [][]string, w *os.File) error {

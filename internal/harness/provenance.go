@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// Provenance pins the environment a benchmark trajectory was measured in,
+// so a diff of BENCH_parallel.json is attributable: same machine and
+// toolchain, or not.
+type Provenance struct {
+	// GitCommit is the VCS revision the binary was built from ("+dirty"
+	// when the working tree had local modifications). Empty when neither
+	// build info nor a git checkout is available.
+	GitCommit string `json:"git_commit,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Hostname names the measuring machine.
+	Hostname string `json:"hostname,omitempty"`
+	// TimestampUTC is the measurement time, RFC3339 in UTC.
+	TimestampUTC string `json:"timestamp_utc"`
+}
+
+// CollectProvenance gathers the run environment. The commit comes from the
+// binary's embedded VCS stamp when present (`go build` of a checkout embeds
+// it); `go run` and test binaries fall back to asking git directly.
+func CollectProvenance() Provenance {
+	p := Provenance{
+		GoVersion:    runtime.Version(),
+		TimestampUTC: time.Now().UTC().Format(time.RFC3339),
+	}
+	if host, err := os.Hostname(); err == nil {
+		p.Hostname = host
+	}
+	p.GitCommit = vcsRevision()
+	return p
+}
+
+func vcsRevision() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			return rev + dirty
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	rev := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(st) > 0 {
+		rev += "+dirty"
+	}
+	return rev
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// active is the Recorder the /debug endpoint and expvar currently expose.
+// One run is active at a time (cmds and the bench harness publish each run
+// for its duration); Publish/Unpublish are cheap atomic swaps.
+var active atomic.Pointer[Recorder]
+
+// Publish makes r the process's active run for /debug/progress and expvar.
+func Publish(r *Recorder) {
+	if r != nil {
+		active.Store(r)
+	}
+}
+
+// Unpublish retires r if it is still the active run (a newer Publish wins).
+func Unpublish(r *Recorder) {
+	if r != nil {
+		active.CompareAndSwap(r, nil)
+	}
+}
+
+// Active returns the currently published Recorder, or nil.
+func Active() *Recorder { return active.Load() }
+
+var expvarOnce sync.Once
+
+// publishExpvar registers the live-progress expvar exactly once per
+// process (expvar.Publish panics on duplicates).
+func publishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("mbe.progress", expvar.Func(func() any {
+			r := Active()
+			if r == nil {
+				return nil
+			}
+			return r.Snapshot()
+		}))
+	})
+}
+
+// progressHandler serves the active run's Snapshot as JSON. 404 with a
+// JSON body while no run is published, so pollers can retry cheaply.
+func progressHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	r := Active()
+	if r == nil {
+		w.WriteHeader(http.StatusNotFound)
+		_, _ = w.Write([]byte(`{"active":false}` + "\n"))
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(r.Snapshot())
+}
+
+// DebugMux returns the /debug handler tree:
+//
+//	/debug/progress   — live Snapshot of the published run (JSON)
+//	/debug/vars       — expvar (includes mbe.progress)
+//	/debug/pprof/...  — net/http/pprof (profile, heap, trace, ...)
+func DebugMux() *http.ServeMux {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/progress", progressHandler)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug listens on addr and serves DebugMux in a background
+// goroutine. It returns the bound address (useful with ":0") and a
+// shutdown function. Serving errors after a successful bind are dropped:
+// the debug endpoint must never take the enumeration down with it.
+func ServeDebug(addr string) (bound string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: DebugMux()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package obs_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-bound tests skip under it.
+const raceEnabled = true

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SamplerOptions configures StartSampler.
+type SamplerOptions struct {
+	// Interval between samples; default 1s.
+	Interval time.Duration
+	// Sink receives every event; nil discards (OnSample may still observe).
+	Sink Sink
+	// OnSample, if non-nil, additionally receives each sample event — the
+	// hook cmd/mbe's -progress line printing rides on.
+	OnSample func(Event)
+	// StallAfter is how many consecutive zero-progress samples a busy
+	// worker tolerates before a worker_stall event fires; default 5,
+	// negative disables.
+	StallAfter int
+}
+
+// StartSampler launches the progress sampler for r: every Interval it
+// snapshots the recorder, derives throughput over the window and the
+// root-frontier ETA, emits a sample event, detects stalled workers, and
+// turns phase changes into phase events. A run_start event is emitted
+// immediately; the returned stop function emits a final sample plus
+// run_end and waits for the goroutine to exit (idempotent).
+func StartSampler(r *Recorder, opt SamplerOptions) (stop func()) {
+	if opt.Interval <= 0 {
+		opt.Interval = time.Second
+	}
+	if opt.StallAfter == 0 {
+		opt.StallAfter = 5
+	}
+	emit := func(e Event) {
+		e.Run = r.RunID()
+		if opt.Sink != nil {
+			opt.Sink.Emit(e)
+		}
+		if opt.OnSample != nil && e.Type == "sample" {
+			opt.OnSample(e)
+		}
+	}
+	tms := func() float64 {
+		return float64(time.Since(r.Started()).Microseconds()) / 1e3
+	}
+
+	info := r.Info()
+	emit(Event{
+		Type: "run_start", Time: time.Now().UTC().Format(time.RFC3339Nano),
+		TMS: tms(), Algorithm: info.Algorithm, Dataset: info.Dataset,
+		Threads: info.Threads, NU: info.NU, NV: info.NV, Edges: info.Edges,
+		Phase: r.Phase(),
+	})
+
+	s := &sampler{r: r, opt: opt, emit: emit, tms: tms, done: make(chan struct{})}
+	s.prev = r.Snapshot()
+	s.prevAt = time.Now()
+	s.lastPhase = s.prev.Phase
+	s.wg.Add(1)
+	go s.loop()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(s.done)
+			s.wg.Wait()
+			final := s.sample() // one closing sample so short runs still record data
+			emit(Event{
+				Type: "run_end", Time: time.Now().UTC().Format(time.RFC3339Nano),
+				TMS: tms(), Phase: final.Phase, Nodes: final.Nodes,
+				Bicliques: final.Bicliques, StopReason: final.StopReason,
+			})
+		})
+	}
+}
+
+type sampler struct {
+	r    *Recorder
+	opt  SamplerOptions
+	emit func(Event)
+	tms  func() float64
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	prev      Snapshot
+	prevAt    time.Time
+	lastPhase string
+	stalls    []int // consecutive zero-progress samples per worker
+}
+
+func (s *sampler) loop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.opt.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-tick.C:
+			s.sample()
+		}
+	}
+}
+
+// sample takes one snapshot, emits phase/sample/stall events, and rolls
+// the throughput window forward.
+func (s *sampler) sample() Snapshot {
+	snap := s.r.Snapshot()
+	now := time.Now()
+
+	if snap.Phase != s.lastPhase {
+		s.emit(Event{Type: "phase", TMS: s.tms(), Phase: snap.Phase, PrevPhase: s.lastPhase})
+		s.lastPhase = snap.Phase
+	}
+
+	dt := now.Sub(s.prevAt).Seconds()
+	ev := Event{Type: "sample", TMS: s.tms(), Snap: &snap}
+	if dt > 0 {
+		ev.NodesPerSec = float64(snap.Nodes-s.prev.Nodes) / dt
+		ev.BicliquesPerSec = float64(snap.Bicliques-s.prev.Bicliques) / dt
+	}
+	// Root-frontier ETA: elapsed scaled by the unentered fraction of the
+	// first enumeration-tree level.
+	if snap.RootTotal > 0 && snap.RootDone > 0 && snap.Phase == "enumerate" {
+		f := float64(snap.RootDone) / float64(snap.RootTotal)
+		if f < 1 {
+			ev.EtaMS = snap.ElapsedMS * (1 - f) / f
+		}
+	}
+	s.emit(ev)
+	s.detectStalls(snap)
+
+	s.prev = snap
+	s.prevAt = now
+	return snap
+}
+
+// detectStalls flags workers that stay busy across StallAfter samples
+// without any counter movement — the straggler signal per-task progress
+// counters exist for.
+func (s *sampler) detectStalls(snap Snapshot) {
+	if s.opt.StallAfter < 0 || snap.Phase != "enumerate" {
+		return
+	}
+	for len(s.stalls) < len(snap.Workers) {
+		s.stalls = append(s.stalls, 0)
+	}
+	for i, w := range snap.Workers {
+		progressed := i >= len(s.prev.Workers) ||
+			w.Nodes != s.prev.Workers[i].Nodes ||
+			w.Bicliques != s.prev.Workers[i].Bicliques ||
+			w.Tasks != s.prev.Workers[i].Tasks
+		if w.State != StateBusy.String() || progressed {
+			s.stalls[i] = 0
+			continue
+		}
+		s.stalls[i]++
+		if s.stalls[i] == s.opt.StallAfter {
+			id := w.ID
+			s.emit(Event{
+				Type: "worker_stall", TMS: s.tms(), Worker: &id, State: w.State,
+				StalledMS: float64(s.opt.StallAfter) * s.opt.Interval.Seconds() * 1e3,
+			})
+		}
+	}
+}

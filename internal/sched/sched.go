@@ -25,6 +25,33 @@ import (
 	"sync/atomic"
 )
 
+// WorkerState classifies what a pool worker is doing, as reported to an
+// Observer. Transitions happen at task granularity (acquire, park, drain),
+// never per enumeration node.
+type WorkerState int32
+
+const (
+	// StateBusy: the worker holds a task returned by Next.
+	StateBusy WorkerState = iota
+	// StateStealing: the worker is sweeping deques looking for work.
+	StateStealing
+	// StateParked: the worker is blocked waiting for a push or drain.
+	StateParked
+	// StateDone: Next returned ok=false; the pool drained for this worker.
+	StateDone
+)
+
+// Observer receives scheduler lifecycle callbacks. Implementations must be
+// fast and non-blocking (think: one atomic store) — WorkerStole in
+// particular can fire while the pool's own lock is held. A nil observer
+// costs one predictable branch per transition.
+type Observer interface {
+	// WorkerState reports worker w entering state s.
+	WorkerState(w int, s WorkerState)
+	// WorkerStole reports worker w taking a task from another deque.
+	WorkerStole(w int)
+}
+
 // Counters is a snapshot of the pool's scheduling statistics.
 type Counters struct {
 	// Spawned counts every task pushed into the pool (seeds included).
@@ -63,7 +90,13 @@ type Pool[T any] struct {
 	spawned  atomic.Int64
 	stolen   atomic.Int64
 	maxDepth atomic.Int64
+
+	obs Observer
 }
+
+// SetObserver attaches o to the pool's lifecycle callbacks. Must be called
+// before the workers start; nil (the default) disables observation.
+func (p *Pool[T]) SetObserver(o Observer) { p.obs = o }
 
 // NewPool builds a pool with one capacity-slot ring per worker.
 func NewPool[T any](workers, capacity int) *Pool[T] {
@@ -215,6 +248,9 @@ func (p *Pool[T]) take(w int) (T, bool) {
 		}
 		if t, ok := p.deques[v].stealTop(); ok {
 			p.stolen.Add(1)
+			if p.obs != nil {
+				p.obs.WorkerStole(w)
+			}
 			return t, true
 		}
 	}
@@ -227,11 +263,20 @@ func (p *Pool[T]) take(w int) (T, bool) {
 // must be balanced by one TaskDone call after the task finishes.
 func (p *Pool[T]) Next(w int) (T, bool) {
 	var zero T
+	if p.obs != nil {
+		p.obs.WorkerState(w, StateStealing)
+	}
 	for {
 		if t, ok := p.take(w); ok {
+			if p.obs != nil {
+				p.obs.WorkerState(w, StateBusy)
+			}
 			return t, true
 		}
 		if p.pending.Load() == 0 {
+			if p.obs != nil {
+				p.obs.WorkerState(w, StateDone)
+			}
 			return zero, false
 		}
 		p.mu.Lock()
@@ -244,15 +289,27 @@ func (p *Pool[T]) Next(w int) (T, bool) {
 		if t, ok := p.take(w); ok {
 			p.idle.Add(-1)
 			p.mu.Unlock()
+			if p.obs != nil {
+				p.obs.WorkerState(w, StateBusy)
+			}
 			return t, true
 		}
 		if p.pending.Load() == 0 {
 			p.idle.Add(-1)
 			p.mu.Unlock()
+			if p.obs != nil {
+				p.obs.WorkerState(w, StateDone)
+			}
 			return zero, false
+		}
+		if p.obs != nil {
+			p.obs.WorkerState(w, StateParked)
 		}
 		p.cond.Wait()
 		p.idle.Add(-1)
+		if p.obs != nil {
+			p.obs.WorkerState(w, StateStealing)
+		}
 		// Hand the wake along if there is visibly more work than us: one
 		// Signal per Push can under-wake when a single worker absorbs
 		// several wakes in a row.

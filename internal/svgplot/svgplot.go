@@ -304,13 +304,13 @@ func Lines(w io.Writer, title, xLabel, yLabel string, xs []float64, series []Ser
 }
 
 // StackedPercent renders 100%-stacked bars (e.g. Fig. 5's inside/outside
-// access split). Each series contributes its share of the per-category
-// total.
-func StackedPercent(w io.Writer, title string, categories []string, series []Series) error {
+// access split, or the worker-utilization timeline). Each series
+// contributes its share of the per-category total.
+func StackedPercent(w io.Writer, title, yLabel string, categories []string, series []Series) error {
 	var b svgBuilder
 	b.open(title)
 	a := axis{min: 0, max: 100}
-	b.yAxis(a, "% of accesses")
+	b.yAxis(a, yLabel)
 	b.xCategoryLabels(categories)
 	nCat := len(categories)
 	if nCat > 0 {

@@ -71,7 +71,7 @@ func TestLines(t *testing.T) {
 
 func TestStackedPercent(t *testing.T) {
 	var buf bytes.Buffer
-	err := StackedPercent(&buf, "Fig. 5", []string{"UL", "UF", "empty"}, []Series{
+	err := StackedPercent(&buf, "Fig. 5", "% of accesses", []string{"UL", "UF", "empty"}, []Series{
 		{Name: "inside", Values: []float64{30, 10, 0}},
 		{Name: "outside", Values: []float64{70, 90, 0}},
 	})

@@ -35,6 +35,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/order"
 )
 
@@ -230,6 +231,18 @@ type Handler = core.Handler
 // motivation and breakdown figures (see core.Metrics).
 type Metrics = core.Metrics
 
+// Recorder is a live observability hub: attach one via Options.Obs and its
+// Snapshot method (or the /debug/progress endpoint, see internal/obs) shows
+// in-flight node/biclique counts, per-worker states and root-frontier
+// progress while Enumerate is still running. See docs/OBSERVABILITY.md.
+type Recorder = obs.Recorder
+
+// RunInfo identifies a run on a Recorder's snapshots and events.
+type RunInfo = obs.RunInfo
+
+// NewRecorder returns a Recorder describing one upcoming run.
+func NewRecorder(info RunInfo) *Recorder { return obs.NewRecorder(info) }
+
 // Result summarizes an enumeration run.
 type Result = core.Result
 
@@ -284,6 +297,11 @@ type Options struct {
 	MaxMemoryBytes int64
 	// Metrics, if non-nil, gathers instrumentation (AdaMBE family only).
 	Metrics *Metrics
+	// Obs, if non-nil, receives live progress: in-flight counters, worker
+	// states and root-frontier advance, snapshottable mid-run (AdaMBE
+	// family only). Unlike Metrics, which is merged once at the end, Obs
+	// is readable while the run is in flight.
+	Obs *Recorder
 }
 
 // Enumerate runs the configured algorithm and returns the result. The
@@ -378,6 +396,7 @@ func enumerateCore(g *Graph, opts Options) (Result, error) {
 		Context:        opts.Context,
 		MaxMemoryBytes: opts.MaxMemoryBytes,
 		Metrics:        opts.Metrics,
+		Obs:            opts.Obs,
 	})
 }
 

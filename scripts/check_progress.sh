@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# check_progress.sh — CI liveness check for the /debug/progress endpoint.
+#
+# Usage: check_progress.sh host:port [timeout_s]
+#
+# Polls a live /debug/progress endpoint (mbe/mbebench -debug-addr) while an
+# enumeration runs in another process and asserts the observability
+# contract (docs/OBSERVABILITY.md):
+#
+#   1. the endpoint publishes a snapshot with non-empty counters while the
+#      run is in flight, and
+#   2. every counter is monotone non-decreasing between two polls of the
+#      same run (run_id detects rollover between benchmark runs; on
+#      rollover the check re-baselines).
+#
+# Exits non-zero when no progress appears within the timeout, or when a
+# counter goes backwards. Needs only curl + sed, no jq.
+set -u
+
+addr="${1:?usage: check_progress.sh host:port [timeout_s]}"
+timeout="${2:-60}"
+url="http://$addr/debug/progress"
+
+snap=$(mktemp) && snap2=$(mktemp) || exit 1
+trap 'rm -f "$snap" "$snap2"' EXIT
+
+# field <name> <file> — extract a top-level scalar from the pretty-printed
+# snapshot JSON (two-space indent distinguishes top-level keys from the
+# per-worker rows).
+field() {
+  sed -n "s/^  \"$1\": \"\{0,1\}\([^,\"]*\)\"\{0,1\},\{0,1\}\$/\1/p" "$2" | head -n1
+}
+
+# Phase 1: wait for a snapshot with visible progress.
+deadline=$(( $(date +%s) + timeout ))
+while :; do
+  if curl -fsS "$url" -o "$snap" 2>/dev/null; then
+    nodes=$(field nodes "$snap")
+    if [ -n "${nodes:-}" ] && [ "$nodes" -gt 0 ] 2>/dev/null; then
+      break
+    fi
+  fi
+  if [ "$(date +%s)" -ge "$deadline" ]; then
+    echo "check_progress: no live progress on $url within ${timeout}s" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+run=$(field run_id "$snap")
+echo "check_progress: attached to run $run: phase=$(field phase "$snap") nodes=$nodes bicliques=$(field bicliques "$snap")"
+
+# Phase 2: poll the same run again; counters must not go backwards.
+tries=0
+misses=0
+while :; do
+  sleep 0.3
+  if ! curl -fsS "$url" -o "$snap2" 2>/dev/null; then
+    misses=$(( misses + 1 ))
+    if [ "$misses" -gt 5 ]; then
+      echo "check_progress: endpoint at $url disappeared before a second same-run poll" >&2
+      exit 1
+    fi
+    continue
+  fi
+  run2=$(field run_id "$snap2")
+  if [ "$run2" != "$run" ]; then
+    tries=$(( tries + 1 ))
+    if [ "$tries" -gt 50 ]; then
+      echo "check_progress: runs roll over faster than the poll interval; could not observe one run twice" >&2
+      exit 1
+    fi
+    cp "$snap2" "$snap"
+    run=$run2
+    continue
+  fi
+  for f in nodes nodes_ln nodes_bit bicliques bitmaps tasks steals root_done; do
+    a=$(field "$f" "$snap"); b=$(field "$f" "$snap2")
+    a=${a:-0}; b=${b:-0}
+    if [ "$b" -lt "$a" ] 2>/dev/null; then
+      echo "check_progress: $f went backwards within run $run: $a -> $b" >&2
+      exit 1
+    fi
+  done
+  echo "check_progress: run $run monotone across polls (nodes $(field nodes "$snap") -> $(field nodes "$snap2"), bicliques $(field bicliques "$snap") -> $(field bicliques "$snap2"))"
+  exit 0
+done
