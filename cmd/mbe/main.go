@@ -6,11 +6,19 @@
 //	mbe -d BX -a FMBE -tle 30s        # competitor with a time budget
 //	mbe -d UL -print                  # print every maximal biclique
 //	mbe -d GH -t 8 -progress 10s -events run.jsonl -debug-addr :6060
+//	mbe -d ceb -t 8 -out run.spool -ckpt-every 5s   # durable spooled run
+//	mbe -d ceb -t 8 -out run.spool -resume          # resume after Ctrl-C
+//	mbe cat -digest run.spool                        # digest the spool
 //
 // Input is a KONECT-format edge list (-i), a binary cache (-bin), or a
 // named synthetic dataset (-d). The graph is oriented so the smaller side
 // is V. Output reports the count, runtime (enumeration only, as in the
 // paper) and basic graph statistics.
+//
+// Durable runs (docs/DURABILITY.md): -out streams every biclique to a
+// sharded on-disk spool and checkpoints the run so an interrupted
+// enumeration resumes with -resume, losing and duplicating nothing.
+// `mbe cat` replays or digests a spool without re-enumerating.
 //
 // Live observability (docs/OBSERVABILITY.md): -progress prints a periodic
 // rate/ETA line to stderr, -events writes the structured JSONL event
@@ -31,7 +39,9 @@ import (
 	"time"
 
 	mbe "repro"
+	"repro/internal/ckpt"
 	"repro/internal/obs"
+	"repro/internal/spool"
 )
 
 var algorithms = map[string]mbe.Algorithm{
@@ -55,6 +65,12 @@ var orderings = map[string]mbe.Ordering{
 }
 
 func main() {
+	// Subcommands dispatch on the bare first argument, before the flag
+	// package sees anything.
+	if len(os.Args) > 1 && os.Args[1] == "cat" {
+		runCat(os.Args[2:])
+		return
+	}
 	var (
 		input     = flag.String("i", "", "input KONECT edge-list file")
 		binary    = flag.String("bin", "", "input binary graph cache (see mbegen -bin)")
@@ -75,6 +91,11 @@ func main() {
 		query     = flag.Int("query", -1, "personalized maximum biclique containing V-side vertex N")
 		minL      = flag.Int("minl", 0, "size-bounded enumeration: require |L| ≥ minl (with -minr)")
 		minR      = flag.Int("minr", 0, "size-bounded enumeration: require |R| ≥ minr (with -minl)")
+		out       = flag.String("out", "", "spool directory: stream every biclique to durable sharded storage (AdaMBE family only)")
+		resume    = flag.Bool("resume", false, "resume an interrupted spooled run from its checkpoint (requires -out)")
+		fsync     = flag.String("fsync", "checkpoint", "spool fsync policy: never|checkpoint|always")
+		ckptEvery = flag.Duration("ckpt-every", 0, "checkpoint cadence for -out (0 = default 10s, negative = only at exit)")
+		compress  = flag.Bool("spool-compress", false, "flate-compress spool frames")
 	)
 	flag.Parse()
 
@@ -135,6 +156,18 @@ func main() {
 	if *tle > 0 {
 		opts.Deadline = time.Now().Add(*tle)
 	}
+	if *out != "" || *resume {
+		mode, err := spool.ParseFsyncMode(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbe:", err)
+			os.Exit(2)
+		}
+		opts.SpoolDir = *out
+		opts.Resume = *resume
+		opts.SpoolFsync = mode
+		opts.SpoolCompress = *compress
+		opts.Checkpoint.Every = *ckptEvery
+	}
 	if *maxMem > 0 {
 		opts.MaxMemoryBytes = *maxMem << 20
 	}
@@ -167,12 +200,78 @@ func main() {
 	}
 	fmt.Printf("algorithm: %s\nmaximal bicliques: %d (%s)\nenumeration time: %v\n",
 		a, res.Count, status, res.Elapsed.Round(time.Millisecond))
+	if *out != "" {
+		printSpoolStatus(*out)
+	}
 	if err != nil {
 		// A recovered worker panic: the partial count above is valid, but
 		// surface the failure and exit non-zero.
 		fmt.Fprintln(os.Stderr, "mbe:", err)
 		os.Exit(1)
 	}
+}
+
+// runCat implements `mbe cat [-digest] <spool-dir>`: replay a spool
+// written by -out without re-enumerating anything. The default prints
+// every stored biclique in -print format; -digest prints the one-line
+// multiset digest (record count + order-invariant fingerprint), the form
+// scripts diff to prove two spools hold identical output.
+func runCat(args []string) {
+	fs := flag.NewFlagSet("mbe cat", flag.ExitOnError)
+	digest := fs.Bool("digest", false, "print the spool's record count and multiset digest instead of the bicliques")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mbe cat [-digest] <spool-dir>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	dir := fs.Arg(0)
+	if *digest {
+		// SpoolDigest refuses a corrupt tail: a digest of silently
+		// truncated output must never compare equal to anything.
+		d, err := mbe.SpoolDigest(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbe cat:", err)
+			os.Exit(1)
+		}
+		fmt.Println(d)
+		return
+	}
+	n, err := mbe.ReadSpool(dir, func(L, R []int32) {
+		fmt.Printf("L=%v R=%v\n", L, R)
+	})
+	if err != nil {
+		// The valid prefix was already printed; report the torn tail.
+		fmt.Fprintf(os.Stderr, "mbe cat: %v (%d valid records printed)\n", err, n)
+		os.Exit(1)
+	}
+}
+
+// printSpoolStatus summarizes the durable output after a spooled run:
+// what is on disk and whether the spool is complete or resumable.
+func printSpoolStatus(dir string) {
+	states, err := spool.Verify(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbe: spool status:", err)
+		return
+	}
+	var bytes, records int64
+	for _, st := range states {
+		bytes += st.ValidBytes
+		records += st.Records
+	}
+	status := "resumable with -resume"
+	if ck, found, err := ckpt.Load(dir); err == nil && found {
+		if ck.Complete {
+			status = "complete"
+		} else {
+			status = fmt.Sprintf("resumable with -resume from root %d", ck.Watermark)
+		}
+	}
+	fmt.Printf("spool: %d records, %d bytes in %d shards, %s\n", records, bytes, len(states), status)
 }
 
 // startObs attaches the live observability stack to an enumeration run:

@@ -1,0 +1,125 @@
+package ckpt
+
+import "testing"
+
+func TestFrontierInlineOnly(t *testing.T) {
+	f := NewFrontier(0, 10)
+	if w := f.Watermark(); w != 0 {
+		t.Fatalf("fresh watermark = %d, want 0", w)
+	}
+	for r := int32(0); r < 5; r++ {
+		f.RootInlineDone(r)
+	}
+	if w := f.Watermark(); w != 5 {
+		t.Fatalf("after inline 0..4: watermark = %d, want 5", w)
+	}
+	if f.Complete() {
+		t.Fatal("not complete at watermark 5 of 10")
+	}
+	for r := int32(5); r < 10; r++ {
+		f.RootInlineDone(r)
+	}
+	if w := f.Watermark(); w != 10 {
+		t.Fatalf("watermark = %d, want 10", w)
+	}
+	if !f.Complete() {
+		t.Fatal("all roots inline-done with nothing outstanding must be complete")
+	}
+}
+
+func TestFrontierOutstandingHoldsWatermark(t *testing.T) {
+	f := NewFrontier(0, 20)
+	f.TaskSpawned(3) // spawned while root 3's inline pass runs
+	f.TaskSpawned(3) // a second subtree of the same root
+	for r := int32(0); r < 10; r++ {
+		f.RootInlineDone(r)
+	}
+	if w := f.Watermark(); w != 3 {
+		t.Fatalf("outstanding tasks at root 3: watermark = %d, want 3", w)
+	}
+	f.TaskDone(3)
+	if w := f.Watermark(); w != 3 {
+		t.Fatalf("one of two tasks done: watermark = %d, want 3", w)
+	}
+	f.TaskDone(3)
+	if w := f.Watermark(); w != 10 {
+		t.Fatalf("all tasks done: watermark = %d, want 10", w)
+	}
+	if f.Complete() {
+		t.Fatal("inline frontier at 10 of 20 is not complete")
+	}
+}
+
+func TestFrontierMonotone(t *testing.T) {
+	f := NewFrontier(0, 20)
+	for r := int32(0); r < 8; r++ {
+		f.RootInlineDone(r)
+	}
+	if w := f.Watermark(); w != 8 {
+		t.Fatalf("watermark = %d, want 8", w)
+	}
+	// A task spawned at a root BELOW the cached watermark cannot happen
+	// in a real run (its root finished), but the cache must stay
+	// monotone regardless.
+	f.TaskSpawned(2)
+	if w := f.Watermark(); w != 8 {
+		t.Fatalf("watermark regressed to %d", w)
+	}
+}
+
+func TestFrontierDiscardFreezes(t *testing.T) {
+	f := NewFrontier(0, 20)
+	for r := int32(0); r < 6; r++ {
+		f.RootInlineDone(r)
+	}
+	f.TaskSpawned(7)
+	f.RootInlineDone(6)
+	f.RootInlineDone(7)
+	f.TaskDiscarded(7)
+	// The freeze-time advance captures completed work (roots 0..6) but
+	// the discarded task pins the watermark at its root.
+	if w := f.Watermark(); w != 7 {
+		t.Fatalf("frozen watermark = %d, want 7", w)
+	}
+	if !f.Frozen() {
+		t.Fatal("discard must freeze the frontier")
+	}
+	// Nothing moves it afterwards.
+	f.TaskDone(7)
+	for r := int32(8); r < 20; r++ {
+		f.RootInlineDone(r)
+	}
+	if w := f.Watermark(); w != 7 {
+		t.Fatalf("frozen watermark moved to %d", w)
+	}
+	if f.Complete() {
+		t.Fatal("a frozen frontier is never complete")
+	}
+}
+
+// TestFreezeAdvancesFirst is the regression test for the stale-cache
+// bug: an interrupt before any Watermark() call must still checkpoint
+// the real progress, not the resume-start value.
+func TestFreezeAdvancesFirst(t *testing.T) {
+	f := NewFrontier(0, 100)
+	for r := int32(0); r < 42; r++ {
+		f.RootInlineDone(r)
+	}
+	f.Freeze() // no Watermark() call before this
+	if w := f.Watermark(); w != 42 {
+		t.Fatalf("freeze-time watermark = %d, want 42", w)
+	}
+}
+
+func TestFrontierResumeStart(t *testing.T) {
+	f := NewFrontier(30, 50)
+	if w := f.Watermark(); w != 30 {
+		t.Fatalf("resume frontier starts at %d, want 30", w)
+	}
+	for r := int32(30); r < 50; r++ {
+		f.RootInlineDone(r)
+	}
+	if !f.Complete() {
+		t.Fatal("resumed run finished all remaining roots")
+	}
+}

@@ -339,9 +339,9 @@ func (e *engine) searchBit1(cg *bitCG, lp uint64, R []int32, cand, excl []int32)
 
 // emitBit1 is emitBit for one-word L masks.
 func (e *engine) emitBit1(cg *bitCG, lq uint64, R []int32) {
-	e.count++
-	e.probe.Biclique()
-	if e.handler == nil {
+	if e.handler == nil && e.sink == nil {
+		e.count++
+		e.probe.Biclique()
 		return
 	}
 	mark := e.ids.Mark()
@@ -351,7 +351,7 @@ func (e *engine) emitBit1(cg *bitCG, lq uint64, R []int32) {
 		L[n] = cg.lids[bits.TrailingZeros64(w)]
 		n++
 	}
-	e.handler(L, R)
+	e.emit(L, R)
 	e.ids.Release(mark)
 }
 
@@ -467,9 +467,9 @@ func (e *engine) searchBit(cg *bitCG, depth int, lp bitset.Mask, R []int32, cand
 // emitBit reports a maximal biclique found in bitmap mode, materializing
 // the L side only when a handler is attached.
 func (e *engine) emitBit(cg *bitCG, lq bitset.Mask, R []int32) {
-	e.count++
-	e.probe.Biclique()
-	if e.handler == nil {
+	if e.handler == nil && e.sink == nil {
+		e.count++
+		e.probe.Biclique()
 		return
 	}
 	mark := e.ids.Mark()
@@ -479,6 +479,6 @@ func (e *engine) emitBit(cg *bitCG, lq bitset.Mask, R []int32) {
 		L[n] = cg.lids[bit]
 		n++
 	})
-	e.handler(L, R)
+	e.emit(L, R)
 	e.ids.Release(mark)
 }

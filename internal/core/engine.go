@@ -35,6 +35,17 @@ type engine struct {
 
 	count int64
 
+	// Durable-emission state (Options.Sink / Frontier / StartRoot; all
+	// zero-valued and branch-free on ordinary runs). wid is this engine's
+	// worker id (the sink routing key); curRoot is the root vertex of the
+	// subtree currently being enumerated — set by the root loops per
+	// iteration and by the parallel worker per task from the task's tag.
+	wid       int
+	sink      Sink
+	frontier  FrontierObserver
+	curRoot   int32
+	startRoot int32
+
 	collect bool
 	metrics Metrics
 	inSmall bool // currently timing a |L| ≤ τ subtree (Fig. 10d)
@@ -89,6 +100,11 @@ func newEngine(g *graph.Bipartite, opts Options, shared *tle.Shared, wid int) *e
 		hook:    opts.FaultHook,
 		collect: opts.Metrics != nil,
 		probe:   opts.Obs.Worker(wid),
+
+		wid:       wid,
+		sink:      opts.Sink,
+		frontier:  opts.Frontier,
+		startRoot: opts.StartRoot,
 	}
 	e.skipChild = opts.SkipChild
 	e.skipSubtree = opts.SkipSubtree
@@ -197,17 +213,20 @@ func (e *engine) runGlobalRoot() {
 		e.metrics.observeNode(len(e.allU), nv)
 	}
 	var rs rootScratch
-	for vp := int32(0); vp < int32(nv); vp++ {
+	for vp := e.startRoot; vp < int32(nv); vp++ {
 		e.probe.RootAdvance(int64(vp))
 		if g.DegV(vp) == 0 {
+			e.rootDone(vp)
 			continue
 		}
 		if e.stop.Hit() {
 			return
 		}
+		e.curRoot = vp
 		e.faultStep(SiteRoot)
 		lq := g.NeighborsOfV(vp) // L' = U ∩ N(v')
 		if e.skipChild != nil && e.skipChild(len(lq)) {
+			e.rootDone(vp)
 			continue
 		}
 		e.gatherTwoHop(vp, lq, nil, &rs)
@@ -253,6 +272,13 @@ func (e *engine) runGlobalRoot() {
 			e.metrics.NodesNonMaximal++
 		}
 		e.ids.Release(mark)
+		// A stop observed mid-subtree means vp's emission is incomplete:
+		// leave it unreported so the checkpoint watermark stays below it
+		// and a resume re-enumerates the whole root (rootDone contract).
+		if e.stop.Stopped() {
+			return
+		}
+		e.rootDone(vp)
 	}
 }
 
@@ -268,17 +294,20 @@ func (e *engine) runLNRoot() {
 	pruned := make([]bool, nv)
 	e.chargeMem(int64(nv))
 	var rs rootScratch
-	for vp := int32(0); vp < int32(nv); vp++ {
+	for vp := e.startRoot; vp < int32(nv); vp++ {
 		e.probe.RootAdvance(int64(vp))
 		if g.DegV(vp) == 0 || pruned[vp] {
+			e.rootDone(vp)
 			continue
 		}
 		if e.stop.Hit() {
 			return
 		}
+		e.curRoot = vp
 		e.faultStep(SiteRoot)
 		lq := g.NeighborsOfV(vp)
 		if e.skipChild != nil && e.skipChild(len(lq)) {
+			e.rootDone(vp)
 			continue
 		}
 		e.gatherTwoHop(vp, lq, pruned, &rs)
@@ -368,6 +397,13 @@ func (e *engine) runLNRoot() {
 		}
 		e.ids.Release(idMark)
 		e.hdrs.Release(hdrMark)
+		// Mirror of runGlobalRoot: never report a stop-interrupted root as
+		// inline-done — its durable output may be partial, and the resume
+		// protocol only re-enumerates roots at or above the watermark.
+		if e.stop.Stopped() {
+			return
+		}
+		e.rootDone(vp)
 	}
 }
 
@@ -377,6 +413,20 @@ func (e *engine) emit(L, R []int32) {
 	e.probe.Biclique()
 	if e.handler != nil {
 		e.handler(L, R)
+	}
+	if e.sink != nil {
+		e.sink.Emit(e.wid, e.curRoot, L, R)
+	}
+}
+
+// rootDone reports that root vp's inline pass is finished — every path
+// that advances the root loop past vp (including degree-0, pruned, and
+// skip-filter shortcuts) must land here, because the frontier watermark
+// treats an unreported root as still in flight. Stop paths return
+// without reporting: an interrupted root stays below the watermark.
+func (e *engine) rootDone(vp int32) {
+	if e.frontier != nil {
+		e.frontier.RootInlineDone(vp)
 	}
 }
 

@@ -173,6 +173,10 @@ type detachedNode struct {
 	exclIDs  []int32
 	exclNbrs [][]int32
 	depth    int
+	// root tags the node with the root V vertex (engine order) of the
+	// subtree it belongs to; it rides along so spooled emissions and the
+	// checkpoint frontier can attribute the task's output to its root.
+	root int32
 	// mem is the footprint charged to the run's memory gauge at spawn,
 	// released when the task completes (or is discarded during a drain).
 	mem int64

@@ -187,8 +187,14 @@ func enumerateParallel(g *graph.Bipartite, opts Options, shared *tle.Shared) (Re
 				// and the push cannot fail.
 				n := detachNode(L, R, candIDs, candNbrs, exclIDs, exclNbrs)
 				n.depth = depth
+				n.root = e.curRoot
 				n.mem = n.memBytes()
 				e.stop.AddMem(n.mem)
+				// The frontier must learn of the task before any thief can
+				// report it done, so the spawn registers ahead of the push.
+				if fr := e.frontier; fr != nil {
+					fr.TaskSpawned(n.root)
+				}
 				pool.Push(w, n)
 				return true
 			}
@@ -200,6 +206,22 @@ func enumerateParallel(g *graph.Bipartite, opts Options, shared *tle.Shared) (Re
 			// cumulative spawn traffic.
 			runTask := func(n *detachedNode) {
 				e.probe.TaskStart()
+				// Registered first so it runs last, after the panic
+				// recovery below has tripped the shared stop state: a
+				// panicked or stop-interrupted task must report Discarded
+				// (freezing the checkpoint watermark), never Done. The
+				// forced Poll sees sibling trips the local stopper hasn't
+				// observed yet — conservatively discarding a subtree that
+				// did complete is safe; the converse would corrupt resume.
+				if fr := e.frontier; fr != nil && !n.isRoot {
+					defer func() {
+						if e.stop.Poll() {
+							fr.TaskDiscarded(n.root)
+						} else {
+							fr.TaskDone(n.root)
+						}
+					}()
+				}
 				defer obs.TraceRegion("mbe/task").End()
 				defer pool.TaskDone()
 				defer func() {
@@ -222,6 +244,7 @@ func enumerateParallel(g *graph.Bipartite, opts Options, shared *tle.Shared) (Re
 				if n.isRoot {
 					e.runLNRoot()
 				} else {
+					e.curRoot = n.root
 					e.searchLN(n.L, n.R, n.candIDs, n.candNbrs, n.exclIDs, n.exclNbrs, n.depth)
 				}
 			}

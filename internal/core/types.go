@@ -65,6 +65,36 @@ const DefaultTau = 64
 // MaxTau bounds configurable τ; masks are ⌈τ/64⌉ words.
 const MaxTau = 4096
 
+// Sink receives every maximal biclique on the durable emission path,
+// tagged with the worker that produced it and the root V vertex (in the
+// engine's processing order) whose enumeration subtree it belongs to.
+// The root tag is what makes checkpoint/resume exact: root subtrees
+// partition the output (each maximal biclique is emitted exactly once,
+// under the minimal vertex of its R side), so a resume can discard the
+// partial output of unfinished subtrees by root and re-enumerate them
+// whole. Emit is called concurrently from parallel workers regardless
+// of UnorderedEmit — a Sink must be safe for concurrent use by distinct
+// worker ids (calls for one worker are sequential). Slices are reused;
+// copy to retain. See internal/spool for the canonical implementation.
+type Sink interface {
+	Emit(worker int, root int32, L, R []int32)
+}
+
+// FrontierObserver tracks root-subtree completion for checkpointing.
+// The engine guarantees: RootInlineDone(r) fires when the root loop
+// finishes root r's inline pass (ascending order, exactly once per root
+// at or above StartRoot, on every skip path too); TaskSpawned(r) fires
+// BEFORE a subtree task tagged r enters the scheduler; each spawned
+// task fires exactly one of TaskDone (subtree fully enumerated) or
+// TaskDiscarded (the run is stopping and the subtree is incomplete).
+// Implementations must be safe for concurrent use. See internal/ckpt.
+type FrontierObserver interface {
+	RootInlineDone(root int32)
+	TaskSpawned(root int32)
+	TaskDone(root int32)
+	TaskDiscarded(root int32)
+}
+
 // Handler receives each maximal biclique (L ⊆ U, R ⊆ V). The slices are
 // reused by the engine and must be copied if retained. By default handler
 // invocations are serialized, even under the parallel engine (each worker
@@ -127,6 +157,24 @@ type Options struct {
 	// once at the end), Obs is readable while the run is in flight. Nil
 	// costs one predictable branch per probe site.
 	Obs *obs.Recorder
+
+	// Sink, if non-nil, additionally receives every maximal biclique with
+	// its worker id and root tag (see the Sink type). Delivery order
+	// matches OnBiclique's per-worker order but is unordered across
+	// workers, like UnorderedEmit.
+	Sink Sink
+	// Frontier, if non-nil, observes root-subtree completion (see the
+	// FrontierObserver type); internal/ckpt derives the checkpoint
+	// watermark from it.
+	Frontier FrontierObserver
+	// StartRoot makes the root loops begin at this root vertex instead of
+	// 0, skipping every earlier root subtree entirely. A resumed run sets
+	// it to the checkpoint watermark: roots below it are already durable.
+	// Root-side pruning state from the skipped prefix is not replayed —
+	// that is sound (formerly-pruned roots re-enumerate to nothing but
+	// non-maximal nodes; see docs/DURABILITY.md) but means a resumed run
+	// may expand more nodes than the original would have.
+	StartRoot int32
 
 	// PadBitmaps forces every bitmap CG's mask width to ⌈τ/64⌉ words
 	// instead of ⌈|L*|/64⌉. The paper's τ-sensitivity analysis (Fig. 11,
@@ -388,6 +436,9 @@ func Enumerate(g *graph.Bipartite, opts Options) (Result, error) {
 	case Baseline, LN, BIT, Ada:
 	default:
 		return Result{}, fmt.Errorf("%w: unknown variant %d", ErrBadOptions, int(opts.Variant))
+	}
+	if opts.StartRoot < 0 {
+		return Result{}, fmt.Errorf("%w: negative StartRoot %d", ErrBadOptions, opts.StartRoot)
 	}
 
 	start := time.Now()

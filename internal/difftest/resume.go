@@ -1,0 +1,168 @@
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/spool"
+)
+
+// Spooled-run differential harness: enumerate through the durable spool
+// path (internal/spool + internal/ckpt), interrupting and resuming at
+// chosen points, and digest what the spool holds at the end. The
+// invariant under test is the tentpole guarantee — an interrupted +
+// resumed spool is byte-equivalent (as a biclique multiset) to an
+// uninterrupted enumeration, with zero dropped and zero duplicated
+// bicliques — checked with the same canonical digests the rest of the
+// differential harness uses.
+
+// SpoolRunResult reports one RunSpooled lifecycle.
+type SpoolRunResult struct {
+	Digest   Digest
+	Attempts int   // enumeration attempts (interrupts + the final complete run)
+	Records  int64 // records in the final spool
+}
+
+// RunSpooled enumerates g under c through a spool at dir, interrupting
+// the run (context cancellation, exactly how Ctrl-C lands) after each
+// emission count in interrupts, resuming after each, then letting the
+// final attempt run to completion. The digest of the final spool
+// contents is returned. Only core engines are supported (the spool
+// path is wired through core.Options).
+func RunSpooled(g *graph.Bipartite, c Config, dir string, interrupts []int64) (SpoolRunResult, error) {
+	var out SpoolRunResult
+	for _, after := range interrupts {
+		complete, err := runSpooledOnce(g, c, dir, out.Attempts > 0, after)
+		out.Attempts++
+		if err != nil {
+			return out, err
+		}
+		if complete {
+			// The run beat the interrupt point; nothing left to resume.
+			break
+		}
+	}
+	// Final attempt(s): run to completion. One resume normally suffices;
+	// the loop guards against a pathological non-advancing sequence.
+	for i := 0; i < 3; i++ {
+		complete, err := runSpooledOnce(g, c, dir, out.Attempts > 0, 0)
+		out.Attempts++
+		if err != nil {
+			return out, err
+		}
+		if complete {
+			d, n, err := SpoolReplayDigest(dir)
+			out.Digest, out.Records = d, n
+			return out, err
+		}
+	}
+	return out, fmt.Errorf("difftest: %s: spooled run did not complete after %d attempts", c, out.Attempts)
+}
+
+// cancelSink counts emissions and cancels the run's context once the
+// budget is spent — a deterministic-enough stand-in for an interrupt
+// that always lands mid-enumeration.
+type cancelSink struct {
+	inner     core.Sink
+	remaining atomic.Int64
+	cancel    context.CancelFunc
+}
+
+func (s *cancelSink) Emit(worker int, root int32, L, R []int32) {
+	s.inner.Emit(worker, root, L, R)
+	if s.remaining.Add(-1) == 0 {
+		s.cancel()
+	}
+}
+
+// runSpooledOnce is one attempt: open (or resume) the session, wire the
+// sink/frontier/start-root into core, enumerate — cancelling after
+// cancelAfter emissions when > 0 — and close the session with the
+// outcome. Returns whether enumeration ran to completion.
+func runSpooledOnce(g *graph.Bipartite, c Config, dir string, resume bool, cancelAfter int64) (bool, error) {
+	variant, ok := c.Engine.coreVariant()
+	if !ok {
+		return false, fmt.Errorf("difftest: %s: only core engines support spooling", c)
+	}
+	threads := 0
+	if c.Engine == EngParAda && c.Threads > 1 {
+		threads = c.Threads
+	}
+	workers := threads
+	if workers < 1 {
+		workers = 1
+	}
+
+	perm := order.Permutation(g, c.Order, c.Seed)
+	pg, err := g.PermuteV(perm)
+	if err != nil {
+		return false, fmt.Errorf("difftest: %s: apply ordering: %w", c, err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sess, err := ckpt.Open(ckpt.OpenOptions{
+		Dir: dir,
+		Meta: spool.Meta{
+			Version: 1, Tool: "difftest", Algorithm: c.Engine.String(),
+			Ordering: c.Order.String(), OrderSeed: c.Seed, Tau: c.Tau, Shards: workers,
+			NU: g.NU(), NV: g.NV(), Edges: g.NumEdges(), GraphHash: spool.GraphSignature(g),
+		},
+		Resume: resume,
+		Every:  -1, // checkpoints only at Finish: deterministic resume points
+		Writer: spool.WriterOptions{OnError: func(error) { cancel() }},
+	})
+	if err != nil {
+		return false, err
+	}
+	if sess.AlreadyComplete() {
+		return true, nil
+	}
+
+	var sink core.Sink = sess.Sink(perm, workers)
+	if cancelAfter > 0 {
+		cs := &cancelSink{inner: sink, cancel: cancel}
+		cs.remaining.Store(cancelAfter)
+		sink = cs
+	}
+	res, err := core.Enumerate(pg, core.Options{
+		Variant:   variant,
+		Tau:       c.Tau,
+		Threads:   threads,
+		Context:   ctx,
+		Sink:      sink,
+		Frontier:  sess.Frontier(),
+		StartRoot: sess.StartRoot(),
+	})
+	complete := err == nil && res.StopReason == core.StopNone
+	if ferr := sess.Finish(complete); ferr != nil && err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return false, fmt.Errorf("difftest: %s: %w", c, err)
+	}
+	return complete, nil
+}
+
+// SpoolReplayDigest digests the spool's contents — the replay-side twin
+// of Run's in-memory digest, comparable against it directly (the spool
+// stores sides sorted in the original id space, and the fingerprint is
+// order-invariant within sides). Fails on a dirty shard tail: a digest
+// of silently truncated output is not comparable.
+func SpoolReplayDigest(dir string) (Digest, int64, error) {
+	var d Digest
+	var n int64
+	states, err := spool.Replay(dir, func(_ int32, L, R []int32) {
+		d.Observe(L, R)
+		n++
+	})
+	if err != nil {
+		return d, n, err
+	}
+	return d, n, spool.Clean(states)
+}

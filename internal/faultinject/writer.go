@@ -1,0 +1,77 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"sync/atomic"
+)
+
+// ErrInjectedWrite is the default error a FailingWriter returns once its
+// fail point is reached.
+var ErrInjectedWrite = errors.New("faultinject: injected write failure")
+
+// FailingWriter wraps an io.Writer and fails deterministically once a
+// byte offset is reached — the storage-side counterpart of the engine
+// fault sites. It simulates the two ways a spool write dies in the
+// field:
+//
+//   - error mode (Short = false): the write that would cross FailAt
+//     writes nothing and returns Err — a full disk or EIO surfaced by
+//     the kernel before anything hit the file;
+//   - short-write/torn-frame mode (Short = true): the crossing write
+//     persists only the bytes up to FailAt and then reports Err — a
+//     crash or power loss mid-frame, leaving a torn tail the reader
+//     must recover from. The partial bytes deliberately reach the
+//     underlying file so the corruption is real, not simulated.
+//
+// After the fail point every Write returns Err: a dead disk does not
+// come back. The zero offset (FailAt = 0) fails on the first write.
+// Safe for concurrent use; exactly one write performs the transition.
+type FailingWriter struct {
+	W      io.Writer
+	FailAt int64 // bytes allowed through before failing
+	Short  bool  // persist the partial prefix of the crossing write
+	Err    error // defaults to ErrInjectedWrite
+
+	n      atomic.Int64
+	failed atomic.Bool
+}
+
+func (f *FailingWriter) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjectedWrite
+}
+
+// Written reports how many bytes passed through to the underlying
+// writer.
+func (f *FailingWriter) Written() int64 { return f.n.Load() }
+
+// Failed reports whether the fail point has been reached.
+func (f *FailingWriter) Failed() bool { return f.failed.Load() }
+
+func (f *FailingWriter) Write(p []byte) (int, error) {
+	if f.failed.Load() {
+		return 0, f.err()
+	}
+	end := f.n.Add(int64(len(p)))
+	if end <= f.FailAt {
+		return f.W.Write(p)
+	}
+	// This write crosses the fail point: exactly one writer wins the
+	// transition (concurrent callers that lose just see the dead state).
+	f.failed.Store(true)
+	keep := f.FailAt - (end - int64(len(p)))
+	if keep < 0 {
+		keep = 0
+	}
+	if f.Short && keep > 0 {
+		n, werr := f.W.Write(p[:keep])
+		if werr != nil {
+			return n, werr
+		}
+		return n, f.err()
+	}
+	return 0, f.err()
+}

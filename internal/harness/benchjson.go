@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/order"
+	"repro/internal/spool"
 )
 
 // BenchRun is one measured enumeration in the perf-trajectory file
@@ -25,6 +28,19 @@ type BenchRun struct {
 	TasksStolen   int64   `json:"tasks_stolen"`
 	TasksInlined  int64   `json:"tasks_inlined"`
 	MaxQueueDepth int64   `json:"max_queue_depth"`
+
+	// Spool throughput fields, set only on the durable-emission row
+	// (Spooled = true): what the sharded spool absorbed during the run
+	// and the wall-time overhead relative to the same-thread unspooled
+	// run above it. The overhead is the number the durability docs quote;
+	// it is recorded, not asserted — wall-clock ratios on loaded CI
+	// machines are too noisy for a hard gate.
+	Spooled           bool    `json:"spooled,omitempty"`
+	SpoolBytes        int64   `json:"spool_bytes,omitempty"`
+	SpoolFrames       int64   `json:"spool_frames,omitempty"`
+	SpoolMBPerSec     float64 `json:"spool_mb_per_sec,omitempty"`
+	SpoolFramesPerSec float64 `json:"spool_frames_per_sec,omitempty"`
+	SpoolOverheadPct  float64 `json:"spool_overhead_pct,omitempty"`
 }
 
 // BenchFile is the schema of BENCH_parallel.json. The file is regenerated
@@ -112,6 +128,70 @@ func BenchParallel(cfg Config, outPath string) error {
 		}, nil
 	}
 
+	// measureSpooled repeats the widest ParAdaMBE run with the durable
+	// spool attached (internal/spool + internal/ckpt, exactly the `mbe
+	// -out` path) and records what the spool absorbed: bytes, frames,
+	// MB/s, frames/s, and the wall-time overhead vs the unspooled run.
+	measureSpooled := func(dataset string, g *graph.Bipartite, threads int, baseMS float64, wantCount int64) (BenchRun, error) {
+		tmp, err := os.MkdirTemp("", "mbebench-spool-")
+		if err != nil {
+			return BenchRun{}, err
+		}
+		defer os.RemoveAll(tmp)
+		sess, err := ckpt.Open(ckpt.OpenOptions{
+			Dir: filepath.Join(tmp, "spool"),
+			Meta: spool.Meta{
+				Version: 1, Tool: "mbebench", Algorithm: AlgoParAdaMBE, Ordering: "asc",
+				Shards: threads, NU: g.NU(), NV: g.NV(), Edges: g.NumEdges(),
+				GraphHash: spool.GraphSignature(g),
+			},
+		})
+		if err != nil {
+			return BenchRun{}, fmt.Errorf("harness: spooled %s: %w", dataset, err)
+		}
+		sess.Start()
+		start := time.Now()
+		res, err := core.Enumerate(g, core.Options{
+			Variant:   core.Ada,
+			Threads:   threads,
+			Deadline:  time.Now().Add(cfg.tle()),
+			Context:   cfg.ctx(),
+			Sink:      sess.Sink(nil, threads),
+			Frontier:  sess.Frontier(),
+			StartRoot: sess.StartRoot(),
+		})
+		wall := time.Since(start)
+		complete := err == nil && res.StopReason == core.StopNone
+		if ferr := sess.Finish(complete); ferr != nil && err == nil {
+			err = ferr
+		}
+		if err != nil {
+			return BenchRun{}, fmt.Errorf("harness: spooled %s (t=%d): %w", dataset, threads, err)
+		}
+		if !complete {
+			return BenchRun{}, fmt.Errorf("harness: spooled %s (t=%d) stopped early (%v); raise -tle for a comparable trajectory",
+				dataset, threads, res.StopReason)
+		}
+		if res.Count != wantCount {
+			return BenchRun{}, fmt.Errorf("harness: spooled %s (t=%d) counted %d, serial %d — durable-emission correctness regression",
+				dataset, threads, res.Count, wantCount)
+		}
+		st := sess.Stats()
+		run := BenchRun{
+			Dataset: dataset, Algorithm: AlgoParAdaMBE, Threads: threads,
+			WallMS: float64(wall.Microseconds()) / 1e3, Count: res.Count,
+			Spooled: true, SpoolBytes: st.Bytes, SpoolFrames: st.Frames,
+		}
+		if sec := wall.Seconds(); sec > 0 {
+			run.SpoolMBPerSec = float64(st.Bytes) / 1e6 / sec
+			run.SpoolFramesPerSec = float64(st.Frames) / sec
+		}
+		if baseMS > 0 {
+			run.SpoolOverheadPct = (run.WallMS - baseMS) / baseMS * 100
+		}
+		return run, nil
+	}
+
 	for _, spec := range specs {
 		if err := cfg.ctx().Err(); err != nil {
 			return err
@@ -126,6 +206,7 @@ func BenchParallel(cfg Config, outPath string) error {
 		fmt.Fprintf(out, "%-6s %-10s t=%d  %8.1fms  count=%d\n",
 			spec.Acronym, serial.Algorithm, serial.Threads, serial.WallMS, serial.Count)
 
+		widestMS := serial.WallMS
 		for _, t := range benchThreadSweep {
 			run, err := measure(spec.Acronym, g, AlgoParAdaMBE, t)
 			if err != nil {
@@ -139,7 +220,18 @@ func BenchParallel(cfg Config, outPath string) error {
 			fmt.Fprintf(out, "%-6s %-10s t=%d  %8.1fms  count=%d  spawned=%d stolen=%d inlined=%d maxq=%d\n",
 				spec.Acronym, run.Algorithm, run.Threads, run.WallMS, run.Count,
 				run.TasksSpawned, run.TasksStolen, run.TasksInlined, run.MaxQueueDepth)
+			widestMS = run.WallMS
 		}
+
+		spoolThreads := benchThreadSweep[len(benchThreadSweep)-1]
+		spooled, err := measureSpooled(spec.Acronym, g, spoolThreads, widestMS, serial.Count)
+		if err != nil {
+			return err
+		}
+		file.Runs = append(file.Runs, spooled)
+		fmt.Fprintf(out, "%-6s %-10s t=%d  %8.1fms  count=%d  spool=%dB %.1fMB/s %.0fframes/s overhead=%+.1f%%\n",
+			spec.Acronym, spooled.Algorithm+"+spool", spooled.Threads, spooled.WallMS, spooled.Count,
+			spooled.SpoolBytes, spooled.SpoolMBPerSec, spooled.SpoolFramesPerSec, spooled.SpoolOverheadPct)
 	}
 
 	data, err := json.MarshalIndent(&file, "", "  ")

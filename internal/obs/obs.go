@@ -185,6 +185,31 @@ type Recorder struct {
 	deadline  atomic.Int64 // unix nanos; 0 = none
 	memBudget atomic.Int64 // Options.MaxMemoryBytes; 0 = none
 	finalStop atomic.Pointer[string]
+
+	// spoolStats, when attached, reads the run's durable-spool counters
+	// (flushed bytes/frames/records, fsyncs) for inclusion in snapshots.
+	spoolStats atomic.Pointer[func() SpoolStats]
+}
+
+// SpoolStats are the durable-emission gauges a spooled run exposes in
+// its snapshots: cumulative flushed output, not in-memory buffers. The
+// shape mirrors internal/spool's writer stats; obs declares its own
+// copy so the dependency points spool-ward only at the wiring layer.
+type SpoolStats struct {
+	Bytes   int64
+	Frames  int64
+	Records int64
+	Fsyncs  int64
+}
+
+// SetSpoolStats attaches a reader for the run's spool counters. fn must
+// be safe to call from any goroutine at any point in the run. A nil
+// Recorder ignores the call.
+func (r *Recorder) SetSpoolStats(fn func() SpoolStats) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.spoolStats.Store(&fn)
 }
 
 // NewRecorder builds a Recorder for one run. Workers are materialized by
@@ -358,6 +383,14 @@ type Snapshot struct {
 	StopReason     string  `json:"stop_reason"`
 	DeadlineMS     float64 `json:"deadline_ms,omitempty"`
 
+	// Durable-spool gauges (zero/absent unless the run writes a spool):
+	// cumulative bytes/frames/records flushed to shard files and fsyncs
+	// issued. Monotone like every other counter here.
+	SpoolBytes   int64 `json:"spool_bytes,omitempty"`
+	SpoolFrames  int64 `json:"spool_frames,omitempty"`
+	SpoolRecords int64 `json:"spool_records,omitempty"`
+	SpoolFsyncs  int64 `json:"spool_fsyncs,omitempty"`
+
 	Workers []WorkerSnap `json:"workers"`
 }
 
@@ -407,6 +440,13 @@ func (r *Recorder) Snapshot() Snapshot {
 	s.MemBudgetBytes = r.memBudget.Load()
 	if at := r.deadline.Load(); at != 0 {
 		s.DeadlineMS = float64(at-time.Now().UnixNano()) / 1e6
+	}
+	if fn := r.spoolStats.Load(); fn != nil {
+		st := (*fn)()
+		s.SpoolBytes = st.Bytes
+		s.SpoolFrames = st.Frames
+		s.SpoolRecords = st.Records
+		s.SpoolFsyncs = st.Fsyncs
 	}
 	return s
 }

@@ -1,0 +1,149 @@
+package spool
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// emitStream writes a fixed, deterministic record stream; used to
+// produce byte-identical shards for the clean twin and the injured run.
+func emitStream(w *Writer) {
+	for i := int32(0); i < 300; i++ {
+		w.Emit(0, i/5, []int32{i, i + 3}, []int32{i % 11, i + 50})
+	}
+}
+
+// TestCrashAtFrame kills the shard writer mid-frame — in both failure
+// modes of the injector — and checks the reader recovers exactly the
+// frames written before the injury, that the writer's error is sticky,
+// and that the error callback fires exactly once.
+func TestCrashAtFrame(t *testing.T) {
+	// Clean twin: learn the byte length and frame count of the stream.
+	clean := t.TempDir()
+	cw, err := Create(clean, testMeta(1, false), WriterOptions{TargetFrameBytes: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitStream(cw)
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cleanStates, err := Verify(clean)
+	if err != nil || cleanStates[0].Tail != "" {
+		t.Fatalf("clean twin dirty: %v %+v", err, cleanStates)
+	}
+	if cleanStates[0].Frames < 3 {
+		t.Fatalf("need >= 3 frames for a mid-stream injury, got %d", cleanStates[0].Frames)
+	}
+	// Fail inside the last frame's payload (the header writes first, so
+	// offset size-5 is always payload bytes).
+	failAt := cleanStates[0].SizeBytes - 5
+
+	for _, tc := range []struct {
+		name  string
+		short bool
+	}{
+		{"short-write-torn-frame", true},
+		{"write-error", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			var onErr atomic.Int32
+			var fw *faultinject.FailingWriter
+			w, err := Create(dir, testMeta(1, false), WriterOptions{
+				TargetFrameBytes: 96,
+				WrapShard: func(shard int, out io.Writer) io.Writer {
+					fw = &faultinject.FailingWriter{W: out, FailAt: failAt, Short: tc.short}
+					return fw
+				},
+				OnError: func(error) { onErr.Add(1) },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			emitStream(w)
+			if cerr := w.Close(); cerr == nil {
+				t.Fatal("Close must surface the injected write failure")
+			}
+			if w.Err() == nil || !fw.Failed() {
+				t.Fatal("writer error must be sticky after the injury")
+			}
+			if n := onErr.Load(); n != 1 {
+				t.Fatalf("OnError fired %d times, want exactly 1", n)
+			}
+			// Post-failure emissions are silent no-ops: nothing new lands.
+			before, _ := os.Stat(filepath.Join(dir, ShardName(0)))
+			w.Emit(0, 999, []int32{1}, []int32{2})
+			if _, serr := w.SyncAll(); serr == nil {
+				t.Fatal("SyncAll after failure must return the sticky error")
+			}
+			after, _ := os.Stat(filepath.Join(dir, ShardName(0)))
+			if before.Size() != after.Size() {
+				t.Fatal("emissions after the failure must not reach the file")
+			}
+
+			// Recovery: every frame before the injured one reads back.
+			states, verr := Verify(dir)
+			if verr != nil {
+				t.Fatal(verr)
+			}
+			if states[0].Frames != cleanStates[0].Frames-1 {
+				t.Errorf("recovered %d frames, want %d", states[0].Frames, cleanStates[0].Frames-1)
+			}
+			if tc.short && states[0].Tail == "" {
+				t.Error("a torn frame must be reported in the shard tail")
+			}
+			// The torn tail is droppable: compaction leaves a clean shard
+			// holding exactly the recovered records.
+			if err := CompactBelow(dir, nil); err != nil {
+				t.Fatal(err)
+			}
+			recs, cstates := collect(t, dir)
+			if err := Clean(cstates); err != nil {
+				t.Fatalf("compaction must scrub the torn tail: %v", err)
+			}
+			if int64(len(recs)) != states[0].Records {
+				t.Errorf("compaction kept %d records, want the %d recovered", len(recs), states[0].Records)
+			}
+		})
+	}
+}
+
+// TestFailingWriterExactOffset pins the injector's byte accounting: the
+// crossing write persists exactly FailAt bytes in short mode and none
+// of its own bytes in error mode.
+func TestFailingWriterExactOffset(t *testing.T) {
+	var buf writeCounter
+	fw := &faultinject.FailingWriter{W: &buf, FailAt: 10, Short: true}
+	if n, err := fw.Write(make([]byte, 6)); n != 6 || err != nil {
+		t.Fatalf("pre-fail write: n=%d err=%v", n, err)
+	}
+	if n, err := fw.Write(make([]byte, 6)); n != 4 || err == nil {
+		t.Fatalf("crossing write: n=%d err=%v, want 4 bytes and an error", n, err)
+	}
+	if buf.n != 10 {
+		t.Fatalf("underlying writer saw %d bytes, want exactly FailAt=10", buf.n)
+	}
+	if n, err := fw.Write([]byte{1}); n != 0 || err == nil {
+		t.Fatalf("post-fail write: n=%d err=%v, want dead writer", n, err)
+	}
+
+	var buf2 writeCounter
+	fw2 := &faultinject.FailingWriter{W: &buf2, FailAt: 10, Short: false}
+	fw2.Write(make([]byte, 6))
+	if n, err := fw2.Write(make([]byte, 6)); n != 0 || err == nil {
+		t.Fatalf("error-mode crossing write: n=%d err=%v, want 0 and an error", n, err)
+	}
+	if buf2.n != 6 {
+		t.Fatalf("error mode leaked %d bytes past the fail point", buf2.n-6)
+	}
+}
+
+type writeCounter struct{ n int }
+
+func (w *writeCounter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }

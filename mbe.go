@@ -37,6 +37,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/order"
+	"repro/internal/spool"
 )
 
 // Graph is an immutable bipartite graph G(U, V, E). Obtain one from
@@ -302,15 +303,72 @@ type Options struct {
 	// family only). Unlike Metrics, which is merged once at the end, Obs
 	// is readable while the run is in flight.
 	Obs *Recorder
+
+	// SpoolDir, if non-empty, streams every maximal biclique to a durable
+	// sharded on-disk spool in that directory (created if absent) and
+	// periodically checkpoints the run so an interrupted enumeration can
+	// be resumed with Resume — see docs/DURABILITY.md. AdaMBE family
+	// only. OnBiclique still fires if set; a spooled run does not need
+	// one. Read results back with ReadSpool or SpoolDigest.
+	SpoolDir string
+	// Resume continues an interrupted spooled run: the spool in SpoolDir
+	// is rewound to its last checkpoint and enumeration restarts at the
+	// checkpoint watermark. Graph, Ordering and Seed must match the
+	// original run (validated); Algorithm, Tau and Threads may differ.
+	// Resuming a spool whose checkpoint is marked complete is a no-op
+	// returning a zero count. Requires SpoolDir.
+	Resume bool
+	// SpoolFsync selects the spool's durability/throughput trade-off;
+	// the zero value fsyncs at checkpoints only.
+	SpoolFsync SpoolFsync
+	// SpoolCompress flate-compresses spool frames (per-frame, skipped
+	// when a frame doesn't shrink).
+	SpoolCompress bool
+	// Checkpoint tunes checkpointing; the zero value checkpoints every
+	// 10s while a spooled run is in flight.
+	Checkpoint CheckpointOptions
+}
+
+// SpoolFsync is the spool fsync policy; see FsyncCheckpoint (default),
+// FsyncNever, FsyncAlways.
+type SpoolFsync = spool.FsyncMode
+
+// The spool fsync policies.
+const (
+	// FsyncCheckpoint (default): shards are fsynced when a checkpoint is
+	// written; a checkpoint never claims data the OS could still lose.
+	FsyncCheckpoint = spool.FsyncCheckpoint
+	// FsyncNever: no fsync ever; checkpoints survive process death but
+	// not OS crashes.
+	FsyncNever = spool.FsyncNever
+	// FsyncAlways: fsync after every frame.
+	FsyncAlways = spool.FsyncAlways
+)
+
+// CheckpointOptions tunes the checkpoint cadence of a spooled run.
+type CheckpointOptions struct {
+	// Every is the wall-clock interval between checkpoints; 0 means 10s,
+	// negative disables periodic checkpoints (one is still written when
+	// the run ends, however it ends).
+	Every time.Duration
 }
 
 // Enumerate runs the configured algorithm and returns the result. The
 // reported ids are always in g's id space.
 func Enumerate(g *Graph, opts Options) (Result, error) {
+	if opts.Resume && opts.SpoolDir == "" {
+		return Result{}, fmt.Errorf("mbe: Resume requires SpoolDir")
+	}
 	switch opts.Algorithm {
 	case AdaMBE, ParAdaMBE, BaselineMBE, AdaMBELN, AdaMBEBIT:
+		if opts.SpoolDir != "" {
+			return enumerateSpooled(g, opts)
+		}
 		return enumerateCore(g, opts)
 	case FMBE, PMBE, OOMBEA, ParMBE, GMBESim:
+		if opts.SpoolDir != "" {
+			return Result{}, fmt.Errorf("mbe: SpoolDir is only supported by the AdaMBE family, not %s", opts.Algorithm)
+		}
 		alg := map[Algorithm]baselines.Algorithm{
 			FMBE: baselines.FMBE, PMBE: baselines.PMBE, OOMBEA: baselines.OOMBEA,
 			ParMBE: baselines.ParMBE, GMBESim: baselines.GMBE,
@@ -327,7 +385,10 @@ func Enumerate(g *Graph, opts Options) (Result, error) {
 	}
 }
 
-func enumerateCore(g *Graph, opts Options) (Result, error) {
+// resolveCoreRun maps an AdaMBE-family Options onto the core engine's
+// inputs: the variant, the V-permuted graph, and the permutation used
+// (nil for OrderNone).
+func resolveCoreRun(g *Graph, opts Options) (*graph.Bipartite, core.Variant, []int32, error) {
 	variant := map[Algorithm]core.Variant{
 		AdaMBE: core.Ada, ParAdaMBE: core.Ada, BaselineMBE: core.Baseline,
 		AdaMBELN: core.LN, AdaMBEBIT: core.BIT,
@@ -347,49 +408,37 @@ func enumerateCore(g *Graph, opts Options) (Result, error) {
 		var err error
 		b, err = b.PermuteV(perm)
 		if err != nil {
-			return Result{}, err
+			return nil, variant, nil, err
 		}
 	default:
-		return Result{}, fmt.Errorf("mbe: unknown ordering %d", int(opts.Ordering))
+		return nil, variant, nil, fmt.Errorf("mbe: unknown ordering %d", int(opts.Ordering))
+	}
+	return b, variant, perm, nil
+}
+
+// coreThreads resolves the effective parallel width (0 = serial).
+func (o Options) coreThreads() int {
+	if o.Algorithm != ParAdaMBE {
+		return 0
+	}
+	if o.Threads == 0 {
+		return defaultThreads()
+	}
+	return o.Threads
+}
+
+func enumerateCore(g *Graph, opts Options) (Result, error) {
+	b, variant, perm, err := resolveCoreRun(g, opts)
+	if err != nil {
+		return Result{}, err
 	}
 
-	handler := opts.OnBiclique
-	if handler != nil && perm != nil {
-		inner := handler
-		var mapBack Handler
-		if opts.UnorderedEmit {
-			// Concurrent delivery: no shared scratch between calls.
-			mapBack = func(L, R []int32) {
-				h := make([]int32, 0, len(R))
-				for _, v := range R {
-					h = append(h, perm[v])
-				}
-				inner(L, h)
-			}
-		} else {
-			h := make([]int32, 0, 64)
-			mapBack = func(L, R []int32) {
-				h = h[:0]
-				for _, v := range R {
-					h = append(h, perm[v])
-				}
-				inner(L, h)
-			}
-		}
-		handler = mapBack
-	}
+	handler := wrapMapBack(opts, perm)
 
-	threads := opts.Threads
-	if opts.Algorithm == ParAdaMBE && threads == 0 {
-		threads = defaultThreads()
-	}
-	if opts.Algorithm != ParAdaMBE {
-		threads = 0
-	}
 	return core.Enumerate(b, core.Options{
 		Variant:        variant,
 		Tau:            opts.Tau,
-		Threads:        threads,
+		Threads:        opts.coreThreads(),
 		OnBiclique:     handler,
 		UnorderedEmit:  opts.UnorderedEmit,
 		Deadline:       opts.Deadline,
