@@ -22,7 +22,8 @@ bench:
 
 # Regenerate the checked-in scheduler perf trajectory (serial AdaMBE vs the
 # ParAdaMBE thread sweep, with spawn/steal/inline counters). Fails if any
-# parallel count diverges from the serial reference.
+# parallel count diverges from the serial reference, and refuses to record
+# at GOMAXPROCS=1 — a one-thread "parallel" trajectory can't show scaling.
 bench-parallel:
 	$(GO) run ./cmd/mbebench -json BENCH_parallel.json -datasets UL,UF,GH
 

@@ -44,26 +44,6 @@ import (
 	"repro/internal/spool"
 )
 
-var algorithms = map[string]mbe.Algorithm{
-	"AdaMBE":     mbe.AdaMBE,
-	"ParAdaMBE":  mbe.ParAdaMBE,
-	"Baseline":   mbe.BaselineMBE,
-	"AdaMBE-LN":  mbe.AdaMBELN,
-	"AdaMBE-BIT": mbe.AdaMBEBIT,
-	"FMBE":       mbe.FMBE,
-	"PMBE":       mbe.PMBE,
-	"ooMBEA":     mbe.OOMBEA,
-	"ParMBE":     mbe.ParMBE,
-	"GMBE":       mbe.GMBESim,
-}
-
-var orderings = map[string]mbe.Ordering{
-	"asc":  mbe.OrderAscendingDegree,
-	"rand": mbe.OrderRandom,
-	"uc":   mbe.OrderUnilateralCore,
-	"none": mbe.OrderNone,
-}
-
 func main() {
 	// Subcommands dispatch on the bare first argument, before the flag
 	// package sees anything.
@@ -104,14 +84,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mbe:", err)
 		os.Exit(1)
 	}
-	a, ok := algorithms[*algo]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "mbe: unknown algorithm %q\n", *algo)
+	a, err := mbe.ParseAlgorithm(*algo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	o, ok := orderings[*ord]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "mbe: unknown ordering %q\n", *ord)
+	o, err := mbe.ParseOrdering(*ord)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -167,6 +147,9 @@ func main() {
 		opts.SpoolFsync = mode
 		opts.SpoolCompress = *compress
 		opts.Checkpoint.Every = *ckptEvery
+		// A torn checkpoint (kill -9 through a non-atomic copy, lost
+		// rename) degrades to a from-scratch resume; say so.
+		opts.OnWarning = func(e error) { fmt.Fprintln(os.Stderr, "mbe: warning:", e) }
 	}
 	if *maxMem > 0 {
 		opts.MaxMemoryBytes = *maxMem << 20

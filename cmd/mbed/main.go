@@ -1,0 +1,121 @@
+// Command mbed is the maximal-biclique enumeration daemon: a
+// crash-safe HTTP service over the same engines and durable spool as
+// the mbe CLI. Submit graphs and enumeration jobs, poll status, stream
+// results, cancel — all over stdlib HTTP+JSON (see docs/SERVER.md for
+// the API).
+//
+//	mbed -addr :8080 -dir /var/lib/mbed
+//
+// Robustness properties:
+//
+//   - Admission control: a bounded job queue, a soft server-wide
+//     memory budget and a token-bucket rate limiter gate the two
+//     submit endpoints. Over capacity, submits are shed with
+//     429 + Retry-After; status, result streaming and /debug keep
+//     answering under any load.
+//   - Per-job deadlines and retries: each job runs under its own wall
+//     deadline and engine-memory budget; retryable failures (spool I/O
+//     errors, worker panics, memory-budget trips with parallelism left
+//     to shed) are retried with exponential backoff + jitter, resuming
+//     from the job's checkpoint; a job out of retry budget lands in a
+//     terminal failed state with the error preserved.
+//   - Restart recovery: every state transition is an atomic manifest
+//     write, every job spools to its own checkpointed directory, so
+//     kill -9 at any instant is recoverable — on restart, completed
+//     jobs are re-adopted into the result cache and interrupted jobs
+//     resume exactly-once from their checkpoints.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		dir         = flag.String("dir", "", "job store directory (required); survives restarts")
+		concurrency = flag.Int("concurrency", 0, "executor pool width: jobs enumerating at once (0 = 2)")
+		maxJobs     = flag.Int("max-jobs", 0, "admission bound on queued+running jobs (0 = 64)")
+		memBudget   = flag.Int64("mem-budget", 0, "server-wide soft memory budget in MiB across admitted jobs (0 = unlimited)")
+		jobMem      = flag.Int64("job-mem", 0, "default per-job engine-memory budget in MiB (0 = 256)")
+		rate        = flag.Float64("rate", 0, "token-bucket submit rate limit in requests/sec (0 = unlimited)")
+		burst       = flag.Int("burst", 0, "token-bucket burst size (0 = 1)")
+		deadline    = flag.Duration("deadline", 0, "default per-job wall deadline across attempts (0 = 10m)")
+		threads     = flag.Int("t", 0, "default threads for jobs that don't set them (0 = all cores)")
+		attempts    = flag.Int("max-attempts", 0, "retry budget per job, including the first attempt (0 = 3)")
+		ckptEvery   = flag.Duration("ckpt-every", 0, "per-job checkpoint cadence (0 = default 10s)")
+		quiet       = flag.Bool("quiet", false, "suppress operational log lines")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "mbed: -dir is required (the job store must survive restarts)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logf := log.New(os.Stderr, "mbed: ", log.LstdFlags).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	srv, err := server.New(server.Config{
+		Dir:                *dir,
+		Concurrency:        *concurrency,
+		MaxJobs:            *maxJobs,
+		MemBudgetBytes:     *memBudget << 20,
+		DefaultJobMemBytes: *jobMem << 20,
+		RatePerSec:         *rate,
+		Burst:              *burst,
+		DefaultDeadline:    *deadline,
+		DefaultThreads:     *threads,
+		MaxAttempts:        *attempts,
+		CheckpointEvery:    *ckptEvery,
+		Logf:               logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbed:", err)
+		os.Exit(1)
+	}
+
+	// SIGINT/SIGTERM trigger the same graceful path: stop accepting,
+	// drain in-flight handlers (obs.ShutdownServer), cancel running
+	// jobs — their manifests stay resumable, so the next start picks
+	// them back up. The same handling mbe/mbebench use for runs.
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSignals()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbed:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	logf("listening on %s (store %s)", ln.Addr(), *dir)
+
+	select {
+	case <-ctx.Done():
+		logf("signal received, shutting down")
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "mbed:", err)
+		os.Exit(1)
+	}
+	obs.ShutdownServer(httpSrv, obs.ShutdownTimeout)
+	if err := srv.Close(10 * time.Second); err != nil {
+		logf("%v", err)
+	}
+	logf("stopped; interrupted jobs resume on next start")
+}

@@ -61,12 +61,37 @@ func (c Checkpoint) Write(dir string, durable bool) error {
 	return spool.AtomicWriteFile(filepath.Join(dir, spool.CheckpointFile), append(blob, '\n'), durable)
 }
 
+// CorruptError reports a checkpoint.json whose bytes do not decode to a
+// well-formed checkpoint — the signature of a torn or truncated write
+// (possible only when the file was produced without the atomic
+// temp+fsync+rename protocol, e.g. by a crashed copy or a filesystem
+// that lost the rename). It is recoverable: the spool's frames are
+// self-validating, so treating the checkpoint as absent restarts the
+// run from watermark 0 over the same spool, losing only the watermark,
+// never correctness. ckpt.Open does exactly that, surfacing the
+// condition through OpenOptions.OnWarn.
+type CorruptError struct {
+	Path  string
+	Cause error
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("ckpt: corrupt checkpoint %s (treating as absent): %v", e.Path, e.Cause)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Cause }
+
 // Load reads the checkpoint from a spool directory. A missing file is
 // not an error: it returns a zero checkpoint (watermark 0) and ok =
-// false, which resumes as a from-scratch run over the same spool.
+// false, which resumes as a from-scratch run over the same spool. A
+// file that exists but does not decode — torn, truncated, or otherwise
+// mangled — returns ok = false with a *CorruptError, so callers can
+// choose between failing loudly and degrading to a from-scratch resume
+// (Open does the latter).
 func Load(dir string) (Checkpoint, bool, error) {
 	var c Checkpoint
-	blob, err := os.ReadFile(filepath.Join(dir, spool.CheckpointFile))
+	path := filepath.Join(dir, spool.CheckpointFile)
+	blob, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return c, false, nil
 	}
@@ -74,13 +99,13 @@ func Load(dir string) (Checkpoint, bool, error) {
 		return c, false, err
 	}
 	if err := json.Unmarshal(blob, &c); err != nil {
-		return c, false, fmt.Errorf("ckpt: %s: %w", spool.CheckpointFile, err)
+		return Checkpoint{}, false, &CorruptError{Path: path, Cause: err}
 	}
 	if c.Version != Version {
 		return c, false, fmt.Errorf("ckpt: unsupported checkpoint version %d (want %d)", c.Version, Version)
 	}
 	if c.Watermark < 0 {
-		return c, false, fmt.Errorf("ckpt: negative watermark %d", c.Watermark)
+		return Checkpoint{}, false, &CorruptError{Path: path, Cause: fmt.Errorf("negative watermark %d", c.Watermark)}
 	}
 	return c, true, nil
 }

@@ -1,6 +1,7 @@
 package ckpt
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -51,6 +52,11 @@ type OpenOptions struct {
 	// Writer passes through to the spool writer (fsync mode, frame
 	// size, fault-injection wrapper, error callback).
 	Writer spool.WriterOptions
+	// OnWarn, if non-nil, receives recoverable resume anomalies — today
+	// a torn/truncated checkpoint.json (*CorruptError), which Open
+	// degrades to a from-scratch resume over the same spool instead of
+	// failing the run. nil drops the warnings.
+	OnWarn func(error)
 }
 
 // Open creates a fresh spooled run or resumes an interrupted one.
@@ -96,7 +102,17 @@ func Open(opts OpenOptions) (*Session, error) {
 	}
 	ck, found, err := Load(opts.Dir)
 	if err != nil {
-		return nil, err
+		// A torn checkpoint is recoverable: the spool frames are
+		// self-validating, so resuming from watermark 0 re-derives a
+		// correct (if emptier) durable prefix. Anything else is fatal.
+		var corrupt *CorruptError
+		if !errors.As(err, &corrupt) {
+			return nil, err
+		}
+		if opts.OnWarn != nil {
+			opts.OnWarn(corrupt)
+		}
+		ck, found = Checkpoint{}, false
 	}
 	if found && ck.Complete {
 		s.complete = true

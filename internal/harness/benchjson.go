@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/ckpt"
@@ -51,9 +52,10 @@ type BenchRun struct {
 // commit, toolchain and machine produced the wall times.
 type BenchFile struct {
 	Tool string `json:"tool"`
-	// Provenance fields are inlined at the top level of the JSON object.
+	// Provenance fields are inlined at the top level of the JSON object —
+	// including gomaxprocs and num_cpu, which say whether the machine
+	// could show parallel scaling at all.
 	Provenance
-	GoMaxProcs int        `json:"go_maxprocs"`
 	TLESeconds float64    `json:"tle_seconds"`
 	Runs       []BenchRun `json:"runs"`
 }
@@ -71,6 +73,14 @@ var benchDefaultDatasets = []string{"UL", "UF"}
 // early (TLE, cancellation) — is an error, so the CI smoke job fails on a
 // scheduler correctness or budget regression, not just on crashes.
 func BenchParallel(cfg Config, outPath string) error {
+	// A parallel trajectory measured on one scheduler thread is noise:
+	// every ParAdaMBE width collapses to ~1.0x serial and the file looks
+	// like a scaling regression. Refuse loudly instead of recording it.
+	if runtime.GOMAXPROCS(0) < 2 {
+		return fmt.Errorf("harness: refusing to record a parallel trajectory at GOMAXPROCS=%d (NumCPU=%d): "+
+			"ParAdaMBE cannot show scaling on one scheduler thread — run on a multi-core machine or raise GOMAXPROCS",
+			runtime.GOMAXPROCS(0), runtime.NumCPU())
+	}
 	specs, err := cfg.selectSpecs(benchDefaultDatasets)
 	if err != nil {
 		return err
@@ -79,7 +89,6 @@ func BenchParallel(cfg Config, outPath string) error {
 	file := BenchFile{
 		Tool:       "mbebench -json",
 		Provenance: CollectProvenance(),
-		GoMaxProcs: cfg.threads(),
 		TLESeconds: cfg.tle().Seconds(),
 		Runs:       []BenchRun{},
 	}

@@ -23,6 +23,11 @@ type Provenance struct {
 	Hostname string `json:"hostname,omitempty"`
 	// TimestampUTC is the measurement time, RFC3339 in UTC.
 	TimestampUTC string `json:"timestamp_utc"`
+	// GoMaxProcs and NumCPU pin the parallelism the measurements ran
+	// under: a trajectory recorded at GOMAXPROCS=1 cannot see scaling,
+	// and comparing wall times across core counts is meaningless.
+	GoMaxProcs int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
 }
 
 // CollectProvenance gathers the run environment. The commit comes from the
@@ -32,6 +37,8 @@ func CollectProvenance() Provenance {
 	p := Provenance{
 		GoVersion:    runtime.Version(),
 		TimestampUTC: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
 	}
 	if host, err := os.Hostname(); err == nil {
 		p.Hostname = host

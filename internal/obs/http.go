@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
@@ -8,6 +9,7 @@ import (
 	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // active is the Recorder the /debug endpoint and expvar currently expose.
@@ -81,6 +83,12 @@ func DebugMux() *http.ServeMux {
 	return mux
 }
 
+// ShutdownTimeout bounds how long a debug (or mbed) server drains
+// in-flight requests on shutdown: long enough for a progress poll or a
+// small pprof read to finish, short enough that exiting never hangs on
+// an abandoned connection (a stuck `curl /debug/pprof/trace`, say).
+const ShutdownTimeout = 3 * time.Second
+
 // ServeDebug listens on addr and serves DebugMux in a background
 // goroutine. It returns the bound address (useful with ":0") and a
 // shutdown function. Serving errors after a successful bind are dropped:
@@ -92,5 +100,20 @@ func ServeDebug(addr string) (bound string, shutdown func(), err error) {
 	}
 	srv := &http.Server{Handler: DebugMux()}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+	return ln.Addr().String(), func() { ShutdownServer(srv, ShutdownTimeout) }, nil
+}
+
+// ShutdownServer gracefully drains srv: the listener closes immediately
+// (no new connections), in-flight requests get up to timeout to finish,
+// and whatever is still open after that is force-closed so no listener
+// or connection outlives the shutdown call. Shared by the cmd/mbe and
+// cmd/mbebench -debug-addr endpoints and the mbed daemon.
+func ShutdownServer(srv *http.Server, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		// Drain deadline hit (or listener already gone): hard-close the
+		// stragglers rather than leak them.
+		_ = srv.Close()
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"testing"
 )
@@ -80,6 +81,45 @@ func TestServeDebugProgress(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServeDebugShutdownDrains pins the graceful-shutdown contract: an
+// in-flight request is allowed to complete (bounded drain, not an abrupt
+// connection reset), and after shutdown returns the listener is gone.
+func TestServeDebugShutdownDrains(t *testing.T) {
+	addr, shutdown, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fmt.Sprintf("http://%s", addr)
+
+	// Park a request inside a handler when shutdown fires: /debug/progress
+	// responds fast, so gate on entry instead via a slow body read — start
+	// the request, then shut down while its response is still streaming.
+	started := make(chan struct{})
+	result := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(base + "/debug/progress")
+		if err != nil {
+			close(started)
+			result <- err
+			return
+		}
+		close(started)
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		result <- err
+	}()
+	<-started
+	shutdown() // must drain the in-flight request, then close
+
+	if err := <-result; err != nil {
+		t.Fatalf("in-flight request failed across shutdown: %v", err)
+	}
+	// The listener must be gone: a fresh connection is refused.
+	if _, err := net.Dial("tcp", addr); err == nil {
+		t.Fatal("listener still accepting connections after shutdown")
 	}
 }
 

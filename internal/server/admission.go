@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// OverCapacityError is the admission-control rejection: the request was
+// shed, the client should retry after RetryAfter. The HTTP layer maps
+// it to 429 + Retry-After. Shedding is deliberate graceful degradation:
+// a bounded queue plus an explicit retry hint beats an unbounded queue
+// that converts overload into latency and OOM.
+type OverCapacityError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *OverCapacityError) Error() string {
+	return fmt.Sprintf("server: over capacity (%s), retry after %v", e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
+
+// tokenBucket is a minimal stdlib-only token bucket: capacity `burst`
+// tokens, refilled at `rate` tokens/second. take() either consumes a
+// token or reports how long until one is available.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // test seam
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	b := &tokenBucket{rate: rate, burst: float64(burst), now: now}
+	if b.burst < 1 {
+		b.burst = 1
+	}
+	b.tokens = b.burst
+	b.last = now()
+	return b
+}
+
+// take consumes one token if available; otherwise it returns false and
+// the wait until the next token accrues. rate <= 0 disables limiting.
+func (b *tokenBucket) take() (bool, time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// admission is the server's submit-side gate. Three independent checks,
+// cheapest first: the token bucket (request rate), the queue bound
+// (queued + running jobs), and the soft memory budget (sum of admitted
+// jobs' engine-memory budgets). Read-side endpoints — status, results,
+// /debug — never pass through it, so they keep working under load.
+type admission struct {
+	bucket    *tokenBucket
+	maxJobs   int   // bound on queued+running jobs; <=0 = 64
+	memBudget int64 // bound on sum of active jobs' memory budgets; <=0 = unlimited
+
+	mu     sync.Mutex
+	active int   // queued + running + retrying jobs
+	mem    int64 // their admission-time memory charges
+}
+
+func newAdmission(rate float64, burst, maxJobs int, memBudget int64) *admission {
+	a := &admission{maxJobs: maxJobs, memBudget: memBudget}
+	if a.maxJobs <= 0 {
+		a.maxJobs = 64
+	}
+	if rate > 0 {
+		a.bucket = newTokenBucket(rate, burst, nil)
+	}
+	return a
+}
+
+// retryAfterQueue is the Retry-After hint when the queue or memory
+// budget is full: there is no closed-form ETA for a job slot (jobs run
+// for arbitrary lengths), so advertise a short constant poll interval.
+const retryAfterQueue = time.Second
+
+// admit charges one job with memCharge bytes, or returns an
+// *OverCapacityError. On success the caller MUST eventually release()
+// the same charge (when the job reaches a terminal state).
+func (a *admission) admit(memCharge int64) error {
+	if ok, wait := a.bucket.take(); !ok {
+		return &OverCapacityError{Reason: "rate limit", RetryAfter: wait}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.active >= a.maxJobs {
+		return &OverCapacityError{Reason: fmt.Sprintf("job queue full (%d)", a.maxJobs), RetryAfter: retryAfterQueue}
+	}
+	if a.memBudget > 0 && a.mem+memCharge > a.memBudget {
+		return &OverCapacityError{
+			Reason:     fmt.Sprintf("memory budget exhausted (%d of %d bytes committed)", a.mem, a.memBudget),
+			RetryAfter: retryAfterQueue,
+		}
+	}
+	a.active++
+	a.mem += memCharge
+	return nil
+}
+
+// adopt re-charges a job during restart recovery, bypassing the rate
+// limiter (recovered jobs were admitted before the crash) but keeping
+// the accounting exact. Recovery may overshoot maxJobs — jobs already
+// admitted are never shed.
+func (a *admission) adopt(memCharge int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.active++
+	a.mem += memCharge
+}
+
+// release returns a terminal job's charge.
+func (a *admission) release(memCharge int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.active--
+	a.mem -= memCharge
+	if a.active < 0 || a.mem < 0 { // accounting bug tripwire
+		panic(fmt.Sprintf("server: admission accounting underflow (active=%d mem=%d)", a.active, a.mem))
+	}
+}
+
+// load reports the current charge (for /healthz and tests).
+func (a *admission) load() (active int, mem int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active, a.mem
+}

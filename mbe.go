@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/baselines"
@@ -139,6 +140,11 @@ func (g *Graph) NeighborsOfU(u int32) []int32 { return g.b.NeighborsOfU(u) }
 // HasEdge reports whether (u, v) ∈ E.
 func (g *Graph) HasEdge(u, v int32) bool { return g.b.HasEdge(u, v) }
 
+// Signature returns the graph's identity hash — dimensions plus a
+// degree-sequence hash, the same value a spool's meta file records.
+// The enumeration server keys its graph store and result cache on it.
+func (g *Graph) Signature() string { return spool.GraphSignature(g.b) }
+
 // WriteEdgeList writes the graph in KONECT text format (0-based ids).
 func (g *Graph) WriteEdgeList(w io.Writer) error { return g.b.WriteEdgeList(w) }
 
@@ -206,6 +212,60 @@ func (a Algorithm) String() string {
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
+}
+
+// AlgorithmNames lists the CLI/API spellings accepted by ParseAlgorithm,
+// in menu order.
+var AlgorithmNames = []string{
+	"AdaMBE", "ParAdaMBE", "Baseline", "AdaMBE-LN", "AdaMBE-BIT",
+	"FMBE", "PMBE", "ooMBEA", "ParMBE", "GMBE",
+}
+
+// ParseAlgorithm maps a CLI/API algorithm name to its Algorithm. It is
+// the shared flag plumbing of cmd/mbe and cmd/mbed, so a job submitted
+// to the daemon accepts exactly the spellings the CLI does.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "AdaMBE", "":
+		return AdaMBE, nil
+	case "ParAdaMBE":
+		return ParAdaMBE, nil
+	case "Baseline":
+		return BaselineMBE, nil
+	case "AdaMBE-LN":
+		return AdaMBELN, nil
+	case "AdaMBE-BIT":
+		return AdaMBEBIT, nil
+	case "FMBE":
+		return FMBE, nil
+	case "PMBE":
+		return PMBE, nil
+	case "ooMBEA":
+		return OOMBEA, nil
+	case "ParMBE":
+		return ParMBE, nil
+	case "GMBE":
+		return GMBESim, nil
+	}
+	return 0, fmt.Errorf("mbe: unknown algorithm %q (want %s)", name, strings.Join(AlgorithmNames, "|"))
+}
+
+// OrderingNames lists the spellings accepted by ParseOrdering.
+var OrderingNames = []string{"asc", "rand", "uc", "none"}
+
+// ParseOrdering maps a CLI/API ordering name to its Ordering.
+func ParseOrdering(name string) (Ordering, error) {
+	switch name {
+	case "asc", "":
+		return OrderAscendingDegree, nil
+	case "rand":
+		return OrderRandom, nil
+	case "uc":
+		return OrderUnilateralCore, nil
+	case "none":
+		return OrderNone, nil
+	}
+	return 0, fmt.Errorf("mbe: unknown ordering %q (want %s)", name, strings.Join(OrderingNames, "|"))
 }
 
 // Ordering selects the V-side processing order for the AdaMBE family
@@ -327,6 +387,11 @@ type Options struct {
 	// Checkpoint tunes checkpointing; the zero value checkpoints every
 	// 10s while a spooled run is in flight.
 	Checkpoint CheckpointOptions
+	// OnWarning, if non-nil, receives recoverable anomalies a run chose
+	// to degrade around instead of failing — today a torn/truncated
+	// checkpoint.json found on Resume, which restarts the spool from
+	// scratch (see docs/DURABILITY.md). nil drops the warnings.
+	OnWarning func(error)
 }
 
 // SpoolFsync is the spool fsync policy; see FsyncCheckpoint (default),

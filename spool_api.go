@@ -78,6 +78,7 @@ func enumerateSpooled(g *Graph, opts Options) (Result, error) {
 			Fsync:   opts.SpoolFsync,
 			OnError: func(error) { cancel() },
 		},
+		OnWarn: opts.OnWarning,
 	})
 	if err != nil {
 		return Result{}, err
