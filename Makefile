@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-parallel repro repro-quick fuzz difftest difftest-extended clean
+.PHONY: all build test test-race bench bench-kernels bench-parallel repro repro-quick fuzz difftest difftest-extended clean
 
 all: build test
 
@@ -19,6 +19,12 @@ test-race:
 # One testing.B benchmark per paper table/figure plus kernel micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Hot-path kernel micro-benches only: the batched packed-mask kernels at
+# word widths 1/2/4 (batched vs per-vertex, fused vs two-pass) and the
+# gallop-vs-merge intersection sweep.
+bench-kernels:
+	$(GO) test -bench='Packed|MaskAndCount|MaskAndThenCount|IntersectGallop' -benchmem ./internal/bitset ./internal/vset
 
 # Regenerate the checked-in scheduler perf trajectory (serial AdaMBE vs the
 # ParAdaMBE thread sweep, with spawn/steal/inline counters). Fails if any

@@ -6,10 +6,11 @@ import (
 )
 
 // boundaryWidths are the universe sizes that straddle 64-bit word
-// boundaries: one bit short of a word, exactly one/two words, and one bit
-// over. Off-by-one bugs in the word/bit index arithmetic or in partial
-// last-word handling show up exactly here.
-var boundaryWidths = []int{63, 64, 65, 127, 128}
+// boundaries: one bit short of a word, exactly one/two/four words, and one
+// bit over. Off-by-one bugs in the word/bit index arithmetic or in partial
+// last-word handling show up exactly here. 129/255/256 exercise the 3- and
+// 4-word unrolled kernels (SmallStrideMax) and the seam just past them.
+var boundaryWidths = []int{63, 64, 65, 127, 128, 129, 255, 256}
 
 // refSet is the oracle: a plain map-backed set.
 type refSet map[int]bool

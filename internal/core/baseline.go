@@ -15,6 +15,7 @@ func (e *engine) searchGlobal(L, R []int32, cand []int32, depth int) {
 		return
 	}
 	if e.variant == BIT && len(L) <= e.tau && len(cand) > 0 {
+		e.notePromotion()
 		cg := e.buildBitCGGlobal(L, R, cand)
 		reg := obs.TraceRegion("mbe/bit-subtree")
 		e.searchBitRoot(cg, R)

@@ -21,6 +21,7 @@ type bitCG struct {
 	masks     []uint64 // len(vids)*width packed masks
 	nCand     int      // vids[0:nCand] are the creation node's candidates
 	framesBuf []uint64 // per-depth L_q scratch (depth ≤ |L*|), width words each
+	rootBuf   []uint64 // the root L_q ("all of L*") for the multi-word path
 
 	// charge, if non-nil, accounts retained-capacity growth (bytes) to the
 	// run's memory gauge.
@@ -98,13 +99,26 @@ func (e *engine) maskWidth(lenL int) int {
 	return bitset.WordsFor(lenL)
 }
 
-func maskIntersects(a, b bitset.Mask) bool {
-	for i := range a {
-		if a[i]&b[i] != 0 {
-			return true
-		}
+// notePromotion records one list-procedure subtree handing off to the
+// bitwise procedure (the LN→BIT promotion the τ knob controls).
+func (e *engine) notePromotion() {
+	e.probe.Promote()
+	if e.collect {
+		e.metrics.BitPromotions++
 	}
-	return false
+}
+
+// observeBitmap records the width histogram row for a freshly built CG.
+func (e *engine) observeBitmap(width int) {
+	e.probe.Bitmap()
+	if e.collect {
+		e.metrics.BitmapsCreated++
+		b := width - 1
+		if b >= len(e.metrics.BitWidthHist) {
+			b = len(e.metrics.BitWidthHist) - 1
+		}
+		e.metrics.BitWidthHist[b]++
+	}
 }
 
 // buildBitCGFromLN materializes the bitmap CG from a node's cached local
@@ -146,10 +160,7 @@ func (e *engine) buildBitCGFromLN(L []int32, candIDs []int32, candNbrs [][]int32
 	for j, x := range exclIDs {
 		fill(x, exclNbrs[j])
 	}
-	e.probe.Bitmap()
-	if e.collect {
-		e.metrics.BitmapsCreated++
-	}
+	e.observeBitmap(width)
 	return cg
 }
 
@@ -193,10 +204,7 @@ func (e *engine) buildBitCGGlobal(L, R, cand []int32) *bitCG {
 			cg.masks[int(k)*width+(pos>>6)] |= 1 << (uint(pos) & 63)
 		}
 	}
-	e.probe.Bitmap()
-	if e.collect {
-		e.metrics.BitmapsCreated++
-	}
+	e.observeBitmap(width)
 	return cg
 }
 
@@ -205,7 +213,9 @@ func (e *engine) buildBitCGGlobal(L, R, cand []int32) *bitCG {
 // builder. The overwhelmingly common case — τ ≤ 64, every mask one machine
 // word — dispatches to the scalar specialization searchBit1, realizing the
 // paper's "each set intersection is a single bitwise AND between two
-// 64-bit integers".
+// 64-bit integers". Wider masks (τ up to 64·bitset.SmallStrideMax on the
+// unrolled kernels, beyond that on a generic word loop) run searchBitPacked
+// over the CG's packed mask storage.
 func (e *engine) searchBitRoot(cg *bitCG, R []int32) {
 	mark := e.ids.Mark()
 	cand := e.ids.Alloc(cg.nCand)
@@ -226,9 +236,13 @@ func (e *engine) searchBitRoot(cg *bitCG, R []int32) {
 		}
 		e.searchBit1(cg, root, R, cand, excl)
 	} else {
-		root := make(bitset.Mask, cg.width)
+		if cap(cg.rootBuf) < cg.width {
+			cg.charged(cap(cg.rootBuf), cg.width)
+			cg.rootBuf = make([]uint64, cg.width)
+		}
+		root := bitset.Mask(cg.rootBuf[:cg.width])
 		root.FillLow(len(cg.lids))
-		e.searchBit(cg, 0, root, R, cand, excl)
+		e.searchBitPacked(cg, 0, root, R, cand, excl)
 	}
 	e.exitSmallTimer(t0, timed)
 	e.ids.Release(mark)
@@ -355,21 +369,33 @@ func (e *engine) emitBit1(cg *bitCG, lq uint64, R []int32) {
 	e.ids.Release(mark)
 }
 
-// searchBit is the bitwise enumeration procedure (Algorithm 2, lines
-// 24-40). All vertex sets except R hold CG-local indices; every set
-// intersection is a width-word AND. The maximality test on line 29 is
-// implemented as the subset check (L_q & N_bit(v”)) == L_q.
-func (e *engine) searchBit(cg *bitCG, depth int, lp bitset.Mask, R []int32, cand, excl []int32) {
+// searchBitPacked is the bitwise enumeration procedure (Algorithm 2, lines
+// 24-40) for multi-word masks. All vertex sets except R hold CG-local
+// indices; every set intersection is a width-word AND. The maximality test
+// on line 29 is implemented as the subset check (L_q & N_bit(v”)) == L_q.
+//
+// Unlike the per-vertex original, each phase of a node runs as ONE batched
+// kernel call over the packed mask storage (internal/bitset kernels):
+// FirstSupersetPacked sweeps the excluded set for the maximality check,
+// ClassifyPacked splits the whole remaining candidate block into R_q / C_q
+// in a single pass (replacing the separate subset test and overlap test per
+// candidate), and FilterIntersectsPacked builds the child excluded set.
+// Each call hoists L_q's words into registers once per block and dispatches
+// once on the stride, so τ ∈ (64, 256] stays on unrolled 2–4-word inner
+// loops instead of falling back to LN.
+func (e *engine) searchBitPacked(cg *bitCG, depth int, lp bitset.Mask, R []int32, cand, excl []int32) {
 	if e.stop.Stopped() {
 		return
 	}
+	width := cg.width
+	masks := cg.masks
 	for i := 0; i < len(cand); i++ {
 		if e.stop.Hit() {
 			return
 		}
 		vk := cand[i]
 		lq := cg.frame(depth)
-		bitset.MaskAnd(lq, lp, cg.mask(vk))
+		bitset.AndPacked(lq, lp, masks, width, vk)
 		if e.collect {
 			e.metrics.SetIntersections++
 		}
@@ -380,25 +406,25 @@ func (e *engine) searchBit(cg *bitCG, depth int, lp bitset.Mask, R []int32, cand
 		// Node check (lines 27-30): the excluded set is every V_bit vertex
 		// outside R ∪ C — the builder's excluded list plus candidates
 		// already traversed at this node or an ancestor within the bitmap.
+		// SetIntersections counts one op per mask actually inspected, like
+		// the early-exiting per-vertex loop it replaces.
 		maximal := true
-		for _, xk := range excl {
+		if at := bitset.FirstSupersetPacked(lq, masks, width, excl); at >= 0 {
+			maximal = false
 			if e.collect {
-				e.metrics.SetIntersections++
+				e.metrics.SetIntersections += int64(at + 1)
 			}
-			if lq.SubsetOf(cg.mask(xk)) {
+		} else {
+			if e.collect {
+				e.metrics.SetIntersections += int64(len(excl))
+			}
+			if at := bitset.FirstSupersetPacked(lq, masks, width, cand[:i]); at >= 0 {
 				maximal = false
-				break
-			}
-		}
-		if maximal {
-			for _, xk := range cand[:i] {
 				if e.collect {
-					e.metrics.SetIntersections++
+					e.metrics.SetIntersections += int64(at + 1)
 				}
-				if lq.SubsetOf(cg.mask(xk)) {
-					maximal = false
-					break
-				}
+			} else if e.collect {
+				e.metrics.SetIntersections += int64(i)
 			}
 		}
 		e.probe.NodeBit()
@@ -412,7 +438,8 @@ func (e *engine) searchBit(cg *bitCG, depth int, lp bitset.Mask, R []int32, cand
 			continue
 		}
 
-		// Node generation (lines 31-37).
+		// Node generation (lines 31-37): classify the remaining candidate
+		// block in one batched pass, then split by relation.
 		mark := e.ids.Mark()
 		rem := len(cand) - i - 1
 		rq := e.ids.Alloc(len(R) + 1 + rem)
@@ -421,36 +448,26 @@ func (e *engine) searchBit(cg *bitCG, depth int, lp bitset.Mask, R []int32, cand
 		nr++
 		cq := e.ids.Alloc(rem)
 		nc := 0
-		for j := i + 1; j < len(cand); j++ {
-			wk := cand[j]
-			mw := cg.mask(wk)
-			if e.collect {
-				e.metrics.SetIntersections++
-			}
-			if lq.SubsetOf(mw) {
-				rq[nr] = cg.vids[wk]
+		rels := e.relScratch(rem)
+		bitset.ClassifyPacked(lq, masks, width, cand[i+1:], rels)
+		if e.collect {
+			e.metrics.SetIntersections += int64(rem)
+		}
+		for j, rel := range rels {
+			switch rel {
+			case bitset.RelSubset:
+				rq[nr] = cg.vids[cand[i+1+j]]
 				nr++
-			} else if maskIntersects(lq, mw) {
-				cq[nc] = wk
+			case bitset.RelOverlap:
+				cq[nc] = cand[i+1+j]
 				nc++
 			}
 		}
 		// Child excluded set: previous exclusions plus this node's
 		// traversed prefix, filtered to those still overlapping L_q.
 		exq := e.ids.Alloc(len(excl) + i)
-		nx := 0
-		for _, xk := range excl {
-			if maskIntersects(lq, cg.mask(xk)) {
-				exq[nx] = xk
-				nx++
-			}
-		}
-		for _, xk := range cand[:i] {
-			if maskIntersects(lq, cg.mask(xk)) {
-				exq[nx] = xk
-				nx++
-			}
-		}
+		nx := bitset.FilterIntersectsPacked(lq, masks, width, excl, exq)
+		nx += bitset.FilterIntersectsPacked(lq, masks, width, cand[:i], exq[nx:])
 
 		if e.collect {
 			e.metrics.NodesMaximal++
@@ -458,10 +475,21 @@ func (e *engine) searchBit(cg *bitCG, depth int, lp bitset.Mask, R []int32, cand
 		}
 		e.emitBit(cg, lq, rq[:nr])
 		if nc > 0 && (e.skipSubtree == nil || !e.skipSubtree(lq.Count(), nr, nc)) {
-			e.searchBit(cg, depth+1, lq, rq[:nr], cq[:nc], exq[:nx])
+			e.searchBitPacked(cg, depth+1, lq, rq[:nr], cq[:nc], exq[:nx])
 		}
 		e.ids.Release(mark)
 	}
+}
+
+// relScratch returns a classification buffer of length n. One buffer per
+// engine suffices: it is consumed into R_q/C_q before any recursion, so no
+// live rels survive a nested searchBitPacked call.
+func (e *engine) relScratch(n int) []bitset.Rel {
+	if cap(e.rels) < n {
+		e.rels = make([]bitset.Rel, max(n, 2*cap(e.rels)))
+		e.chargeMem(int64(cap(e.rels)))
+	}
+	return e.rels[:n]
 }
 
 // emitBit reports a maximal biclique found in bitmap mode, materializing

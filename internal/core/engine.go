@@ -4,6 +4,7 @@ import (
 	"slices"
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/tle"
@@ -79,6 +80,10 @@ type engine struct {
 	// cg is the engine's single pooled bitmap CG (bitmap subtrees never
 	// nest; see bitCG).
 	cg bitCG
+
+	// rels is the reusable candidate-classification buffer of the batched
+	// multi-word bitwise kernels (see relScratch).
+	rels []bitset.Rel
 
 	// Optional search-pruning hooks (Options.SkipChild / SkipSubtree).
 	skipChild   func(lenL int) bool

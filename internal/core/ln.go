@@ -30,6 +30,7 @@ func (e *engine) searchLN(L, R []int32, candIDs []int32, candNbrs [][]int32, exc
 		return
 	}
 	if e.variant == Ada && len(L) <= e.tau && len(candIDs) > 0 {
+		e.notePromotion()
 		cg := e.buildBitCGFromLN(L, candIDs, candNbrs, exclIDs, exclNbrs)
 		reg := obs.TraceRegion("mbe/bit-subtree")
 		e.searchBitRoot(cg, R)
@@ -164,70 +165,3 @@ func (e *engine) searchLN(L, R []int32, candIDs []int32, candNbrs [][]int32, exc
 	}
 }
 
-// detachedNode is a heap-owned enumeration-tree node handed between
-// ParAdaMBE workers. Its slices alias nothing.
-type detachedNode struct {
-	L, R     []int32
-	candIDs  []int32
-	candNbrs [][]int32
-	exclIDs  []int32
-	exclNbrs [][]int32
-	depth    int
-	// root tags the node with the root V vertex (engine order) of the
-	// subtree it belongs to; it rides along so spooled emissions and the
-	// checkpoint frontier can attribute the task's output to its root.
-	root int32
-	// mem is the footprint charged to the run's memory gauge at spawn,
-	// released when the task completes (or is discarded during a drain).
-	mem int64
-	// isRoot marks the seed task: the receiving worker runs the two-hop
-	// root loop instead of searchLN.
-	isRoot bool
-}
-
-// memBytes approximates the node's heap footprint for the run's memory
-// gauge: int32 payloads plus slice headers and the struct itself. The
-// charge is taken when the node is queued and released when its task
-// completes, so the gauge tracks the live queued footprint (up to
-// threads×capacity nodes) rather than cumulative spawn traffic.
-func (n *detachedNode) memBytes() int64 {
-	ints := len(n.L) + len(n.R) + len(n.candIDs) + len(n.exclIDs)
-	for _, nb := range n.candNbrs {
-		ints += len(nb)
-	}
-	for _, nb := range n.exclNbrs {
-		ints += len(nb)
-	}
-	headers := len(n.candNbrs) + len(n.exclNbrs)
-	return int64(ints)*4 + int64(headers)*24 + 96
-}
-
-// detachNode deep-copies node state out of the slab so another worker can
-// own it.
-func detachNode(L, R, candIDs []int32, candNbrs [][]int32, exclIDs []int32, exclNbrs [][]int32) *detachedNode {
-	n := &detachedNode{
-		L:        append([]int32(nil), L...),
-		R:        append([]int32(nil), R...),
-		candIDs:  append([]int32(nil), candIDs...),
-		exclIDs:  append([]int32(nil), exclIDs...),
-		candNbrs: make([][]int32, len(candNbrs)),
-		exclNbrs: make([][]int32, len(exclNbrs)),
-	}
-	total := 0
-	for _, nb := range candNbrs {
-		total += len(nb)
-	}
-	for _, nb := range exclNbrs {
-		total += len(nb)
-	}
-	buf := make([]int32, 0, total)
-	for i, nb := range candNbrs {
-		buf = append(buf, nb...)
-		n.candNbrs[i] = buf[len(buf)-len(nb):]
-	}
-	for i, nb := range exclNbrs {
-		buf = append(buf, nb...)
-		n.exclNbrs[i] = buf[len(buf)-len(nb):]
-	}
-	return n
-}

@@ -91,7 +91,7 @@ func shouldSpawn(pool *sched.Pool[*detachedNode], w, nCand int) bool {
 // deque per worker (owner pushes and pops the youngest subtree, idle
 // workers steal the oldest), the adaptive spawn cutoff above, and
 // reservation-before-copy — sched.Pool.CanPush is a guaranteed
-// reservation, so the detachNode deep-copy is only ever paid for a subtree
+// reservation, so the arena detach deep-copy is only ever paid for a subtree
 // that will actually be queued. Spawn decisions never change the
 // enumerated set (a declined offer recurses inline with identical
 // semantics), so counts and bicliques are bit-identical to the serial
@@ -143,6 +143,11 @@ func enumerateParallel(g *graph.Bipartite, opts Options, shared *tle.Shared) (Re
 			if shard != nil {
 				shard.charge = e.chargeMem
 			}
+			// Worker-local spawn arena. Ownership follows the task: nodes
+			// this worker executes — its own pops and its steals alike —
+			// are recycled into this arena after runTask's last defer has
+			// fired, then reused by this worker's next detach.
+			var arena nodeArena
 			// Drain this worker's results on every exit path — normal pool
 			// drain, early stop, or a panic unwinding past the task-level
 			// recovery — through the same flush/reconcile/merge sequence:
@@ -166,6 +171,7 @@ func enumerateParallel(g *graph.Bipartite, opts Options, shared *tle.Shared) (Re
 				}
 				total.Add(e.count)
 				if opts.Metrics != nil {
+					arena.stats(&e.metrics)
 					metricsMu.Lock()
 					opts.Metrics.merge(&e.metrics)
 					metricsMu.Unlock()
@@ -185,7 +191,10 @@ func enumerateParallel(g *graph.Bipartite, opts Options, shared *tle.Shared) (Re
 				// CanPush held above, and only this worker pushes to this
 				// deque: the slot is reserved, the copy cannot be wasted
 				// and the push cannot fail.
-				n := detachNode(L, R, candIDs, candNbrs, exclIDs, exclNbrs)
+				n, reused := arena.detach(L, R, candIDs, candNbrs, exclIDs, exclNbrs)
+				if reused {
+					e.probe.ArenaReuse()
+				}
 				n.depth = depth
 				n.root = e.curRoot
 				n.mem = n.memBytes()
@@ -255,6 +264,12 @@ func enumerateParallel(g *graph.Bipartite, opts Options, shared *tle.Shared) (Re
 					break
 				}
 				runTask(n)
+				// runTask has returned, so every reference the task's defers
+				// held (frontier report, gauge release) is dead; searchLN does
+				// not retain its argument slices and spawn deep-copies into a
+				// fresh node, so the shell and its backing buffers are free to
+				// reuse. The root marker recycles harmlessly (empty buffers).
+				arena.recycle(n)
 			}
 		}(w)
 	}

@@ -323,6 +323,17 @@ type Metrics struct {
 	LargeNodeTime time.Duration
 	// BitmapsCreated counts bitmap CGs materialized by BIT.
 	BitmapsCreated int64
+	// BitPromotions counts list-procedure subtrees (LN or global) that
+	// switched to the bitwise procedure at the τ boundary. The promotion
+	// rate — BitPromotions against NodesGenerated — says how much of the
+	// tree the bitmap fast path captured at the configured τ.
+	BitPromotions int64
+	// BitWidthHist is a histogram of bitmap-CG mask widths in 64-bit
+	// words: index w counts CGs built with w+1 words per mask, the last
+	// bucket everything at least that wide. With multi-word kernels the
+	// width distribution (not just the count) decides whether raising τ
+	// pays: widths ≤ bitset.SmallStrideMax run the unrolled kernels.
+	BitWidthHist [5]int64
 
 	// Scheduler counters (parallel runs only; zero for serial engines).
 	// TasksSpawned counts subtrees detached into the work-stealing pool,
@@ -336,6 +347,14 @@ type Metrics struct {
 	// MaxQueueDepth is the highest per-worker deque occupancy observed;
 	// merge keeps the maximum rather than summing.
 	MaxQueueDepth int64
+
+	// Spawn-arena counters (parallel runs only). A spawn served from the
+	// worker's recycled-node arena is a hit — the detach copy reuses a
+	// retained buffer instead of allocating; ArenaBytesReused totals the
+	// payload bytes those hits avoided allocating.
+	ArenaSpawnHits   int64
+	ArenaSpawnMisses int64
+	ArenaBytesReused int64
 }
 
 // CGHistBuckets is the number of log₂ buckets per axis in Metrics.CGHist
@@ -373,9 +392,16 @@ func (m *Metrics) merge(o *Metrics) {
 	m.SmallNodeTime += o.SmallNodeTime
 	m.LargeNodeTime += o.LargeNodeTime
 	m.BitmapsCreated += o.BitmapsCreated
+	m.BitPromotions += o.BitPromotions
+	for i := range m.BitWidthHist {
+		m.BitWidthHist[i] += o.BitWidthHist[i]
+	}
 	m.TasksSpawned += o.TasksSpawned
 	m.TasksStolen += o.TasksStolen
 	m.TasksInlined += o.TasksInlined
+	m.ArenaSpawnHits += o.ArenaSpawnHits
+	m.ArenaSpawnMisses += o.ArenaSpawnMisses
+	m.ArenaBytesReused += o.ArenaBytesReused
 	if o.MaxQueueDepth > m.MaxQueueDepth {
 		m.MaxQueueDepth = o.MaxQueueDepth
 	}

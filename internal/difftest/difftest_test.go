@@ -77,6 +77,44 @@ func TestSweepAgreesWithBruteForce(t *testing.T) {
 	}
 }
 
+// TestSweepTauBoundaries extends the acceptance sweep to the multi-word
+// bitmap thresholds: τ at the 2- and 4-word mask boundaries, across the
+// full engine × ordering matrix at 1/4/8 threads. The "dense" fixture has
+// V-degrees ≈ 150 so τ = 128/256 promotions genuinely build 2–3-word
+// masks; its digest is additionally anchored to the brute-force oracle.
+func TestSweepTauBoundaries(t *testing.T) {
+	dense := gen.Uniform(401, 340, 12, 1800)
+	graphs := quickFamilies(t)
+	graphs["dense"] = dense
+	for _, tau := range []int{128, 256} {
+		configs := Matrix(MatrixOpts{Threads: []int{1, 4, 8}, Seed: 17, Tau: tau})
+		for name, g := range graphs {
+			t.Run(fmt.Sprintf("tau=%d/%s", tau, name), func(t *testing.T) {
+				mismatches, err := Sweep(g, configs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, m := range mismatches {
+					t.Error(m)
+				}
+			})
+		}
+		want := BruteDigest(dense)
+		for _, c := range configs {
+			if c.Engine != EngAda && c.Engine != EngParAda {
+				continue
+			}
+			got, err := Run(dense, c)
+			if err != nil {
+				t.Fatalf("[%s]: %v", c, err)
+			}
+			if !got.Equal(want) {
+				t.Errorf("[%s]: digest %s != oracle %s", c, got, want)
+			}
+		}
+	}
+}
+
 // TestMetamorphicInvariance applies every transformation and asserts the
 // mapped-back digest matches the original enumeration's digest.
 func TestMetamorphicInvariance(t *testing.T) {

@@ -30,6 +30,20 @@ type BenchRun struct {
 	TasksInlined  int64   `json:"tasks_inlined"`
 	MaxQueueDepth int64   `json:"max_queue_depth"`
 
+	// Allocation profile of the run, from runtime.MemStats deltas taken
+	// around the enumeration: allocator traffic (mallocs and bytes), not
+	// live heap. Normalized per emitted biclique so rows are comparable
+	// across datasets; the trajectory diff is what matters — an arena or
+	// kernel regression shows up as a jump in allocs_per_biclique long
+	// before it is visible in wall time.
+	Allocs            int64   `json:"allocs"`
+	AllocBytes        int64   `json:"alloc_bytes"`
+	AllocsPerBiclique float64 `json:"allocs_per_biclique"`
+
+	// SpeedupVsSerial is serial wall time over this row's wall time; set
+	// on parallel rows only.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+
 	// Spool throughput fields, set only on the durable-emission row
 	// (Spooled = true): what the sharded spool absorbed during the run
 	// and the wall-time overhead relative to the same-thread unspooled
@@ -56,8 +70,49 @@ type BenchFile struct {
 	// including gomaxprocs and num_cpu, which say whether the machine
 	// could show parallel scaling at all.
 	Provenance
-	TLESeconds float64    `json:"tle_seconds"`
-	Runs       []BenchRun `json:"runs"`
+	TLESeconds float64      `json:"tle_seconds"`
+	Gate       *ScalingGate `json:"scaling_gate,omitempty"`
+	Runs       []BenchRun   `json:"runs"`
+}
+
+// ScalingGate is the trajectory's scaling assertion: ParAdaMBE at Threads
+// on Dataset must reach MinSpeedup× the serial row. The spec travels in
+// BENCH_parallel.json itself — regenerating the file re-reads the
+// checked-in threshold, so tightening the gate is a one-line JSON diff.
+// Enforcement is conditional on the machine: a recorder with fewer cores
+// than Threads physically cannot show the speedup, so the gate records
+// the observed ratio with enforced=false instead of failing bogusly
+// (Reason says why). CI runners with enough cores enforce it hard.
+type ScalingGate struct {
+	Dataset    string  `json:"dataset"`
+	Threads    int     `json:"threads"`
+	MinSpeedup float64 `json:"min_speedup"`
+	Observed   float64 `json:"observed_speedup,omitempty"`
+	Enforced   bool    `json:"enforced"`
+	Reason     string  `json:"reason,omitempty"`
+}
+
+// defaultScalingGate seeds the gate spec when outPath has no prior
+// trajectory to inherit one from.
+var defaultScalingGate = ScalingGate{Dataset: "GH", Threads: 8, MinSpeedup: 3.0}
+
+// loadGateSpec recovers the gate spec (dataset/threads/threshold only)
+// from an existing trajectory at path, falling back to the default.
+func loadGateSpec(path string) ScalingGate {
+	spec := defaultScalingGate
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return spec
+	}
+	var prior BenchFile
+	if json.Unmarshal(data, &prior) != nil || prior.Gate == nil {
+		return spec
+	}
+	g := *prior.Gate
+	if g.Dataset == "" || g.Threads <= 0 || g.MinSpeedup <= 0 {
+		return spec
+	}
+	return ScalingGate{Dataset: g.Dataset, Threads: g.Threads, MinSpeedup: g.MinSpeedup}
 }
 
 // benchThreadSweep is the ParAdaMBE width sweep recorded per dataset.
@@ -86,10 +141,12 @@ func BenchParallel(cfg Config, outPath string) error {
 		return err
 	}
 	out := cfg.out()
+	gate := loadGateSpec(outPath)
 	file := BenchFile{
 		Tool:       "mbebench -json",
 		Provenance: CollectProvenance(),
 		TLESeconds: cfg.tle().Seconds(),
+		Gate:       &gate,
 		Runs:       []BenchRun{},
 	}
 
@@ -107,6 +164,8 @@ func BenchParallel(cfg Config, outPath string) error {
 			obs.Publish(rec)
 		}
 		deadline := time.Now().Add(cfg.tle())
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		res, err := core.Enumerate(g, core.Options{
 			Variant:  core.Ada,
@@ -117,6 +176,7 @@ func BenchParallel(cfg Config, outPath string) error {
 			Obs:      rec,
 		})
 		wall := time.Since(start)
+		runtime.ReadMemStats(&msAfter)
 		if err != nil {
 			return BenchRun{}, fmt.Errorf("harness: %s on %s (t=%d): %w", algo, dataset, threads, err)
 		}
@@ -124,7 +184,7 @@ func BenchParallel(cfg Config, outPath string) error {
 			return BenchRun{}, fmt.Errorf("harness: %s on %s (t=%d) stopped early (%v); raise -tle for a comparable trajectory",
 				algo, dataset, threads, res.StopReason)
 		}
-		return BenchRun{
+		run := BenchRun{
 			Dataset:       dataset,
 			Algorithm:     algo,
 			Threads:       threads,
@@ -134,7 +194,13 @@ func BenchParallel(cfg Config, outPath string) error {
 			TasksStolen:   m.TasksStolen,
 			TasksInlined:  m.TasksInlined,
 			MaxQueueDepth: m.MaxQueueDepth,
-		}, nil
+			Allocs:        int64(msAfter.Mallocs - msBefore.Mallocs),
+			AllocBytes:    int64(msAfter.TotalAlloc - msBefore.TotalAlloc),
+		}
+		if res.Count > 0 {
+			run.AllocsPerBiclique = float64(run.Allocs) / float64(res.Count)
+		}
+		return run, nil
 	}
 
 	// measureSpooled repeats the widest ParAdaMBE run with the durable
@@ -225,10 +291,16 @@ func BenchParallel(cfg Config, outPath string) error {
 				return fmt.Errorf("harness: ParAdaMBE on %s (t=%d) counted %d, serial %d — scheduler correctness regression",
 					spec.Acronym, t, run.Count, serial.Count)
 			}
+			if serial.WallMS > 0 {
+				run.SpeedupVsSerial = serial.WallMS / run.WallMS
+			}
+			if spec.Acronym == gate.Dataset && t == gate.Threads {
+				gate.Observed = run.SpeedupVsSerial
+			}
 			file.Runs = append(file.Runs, run)
-			fmt.Fprintf(out, "%-6s %-10s t=%d  %8.1fms  count=%d  spawned=%d stolen=%d inlined=%d maxq=%d\n",
-				spec.Acronym, run.Algorithm, run.Threads, run.WallMS, run.Count,
-				run.TasksSpawned, run.TasksStolen, run.TasksInlined, run.MaxQueueDepth)
+			fmt.Fprintf(out, "%-6s %-10s t=%d  %8.1fms  %5.2fx  count=%d  spawned=%d stolen=%d inlined=%d maxq=%d allocs/bc=%.1f\n",
+				spec.Acronym, run.Algorithm, run.Threads, run.WallMS, run.SpeedupVsSerial, run.Count,
+				run.TasksSpawned, run.TasksStolen, run.TasksInlined, run.MaxQueueDepth, run.AllocsPerBiclique)
 			widestMS = run.WallMS
 		}
 
@@ -243,6 +315,29 @@ func BenchParallel(cfg Config, outPath string) error {
 			spooled.SpoolBytes, spooled.SpoolMBPerSec, spooled.SpoolFramesPerSec, spooled.SpoolOverheadPct)
 	}
 
+	// Gate evaluation. The trajectory is written even when the gate trips,
+	// so a failing CI run still uploads the numbers that explain it.
+	var gateErr error
+	switch {
+	case gate.Observed == 0:
+		gate.Enforced = false
+		gate.Reason = fmt.Sprintf("gate dataset %s (t=%d) not in this run set", gate.Dataset, gate.Threads)
+	case runtime.NumCPU() < gate.Threads:
+		gate.Enforced = false
+		gate.Reason = fmt.Sprintf("num_cpu %d < gate threads %d: machine cannot show the speedup; recorded, not enforced",
+			runtime.NumCPU(), gate.Threads)
+	default:
+		gate.Enforced = true
+		if gate.Observed < gate.MinSpeedup {
+			gateErr = fmt.Errorf("harness: scaling gate failed: ParAdaMBE on %s (t=%d) reached %.2fx serial, gate requires %.2fx",
+				gate.Dataset, gate.Threads, gate.Observed, gate.MinSpeedup)
+		}
+	}
+	if gate.Observed > 0 {
+		fmt.Fprintf(out, "scaling gate: %s t=%d observed %.2fx (min %.2fx, enforced=%v)\n",
+			gate.Dataset, gate.Threads, gate.Observed, gate.MinSpeedup, gate.Enforced)
+	}
+
 	data, err := json.MarshalIndent(&file, "", "  ")
 	if err != nil {
 		return err
@@ -252,5 +347,5 @@ func BenchParallel(cfg Config, outPath string) error {
 		return err
 	}
 	fmt.Fprintf(out, "wrote %s (%d runs)\n", outPath, len(file.Runs))
-	return nil
+	return gateErr
 }

@@ -76,15 +76,17 @@ func (s WorkerState) String() string {
 // worker) with any number of concurrent snapshot readers. The struct is
 // padded so two workers' probes never share a cache line.
 type WorkerProbe struct {
-	nodesLN   atomic.Int64 // enumeration-tree nodes expanded in LN / list mode
-	nodesBit  atomic.Int64 // nodes expanded inside bitmap (BIT) subtrees
-	bicliques atomic.Int64 // maximal bicliques counted by this worker
-	bitmaps   atomic.Int64 // bitmap CGs materialized
-	tasks     atomic.Int64 // scheduler tasks executed (parallel runs)
-	steals    atomic.Int64 // tasks this worker stole from a sibling deque
-	root      atomic.Int64 // highest root (first-level V) index entered, +1
-	state     atomic.Int32 // WorkerState
-	_         [64]byte     // pad to keep neighboring probes off this line
+	nodesLN    atomic.Int64 // enumeration-tree nodes expanded in LN / list mode
+	nodesBit   atomic.Int64 // nodes expanded inside bitmap (BIT) subtrees
+	bicliques  atomic.Int64 // maximal bicliques counted by this worker
+	bitmaps    atomic.Int64 // bitmap CGs materialized
+	promotes   atomic.Int64 // LN→BIT subtree promotions at the τ boundary
+	arenaReuse atomic.Int64 // spawn detach copies served from the node arena
+	tasks      atomic.Int64 // scheduler tasks executed (parallel runs)
+	steals     atomic.Int64 // tasks this worker stole from a sibling deque
+	root       atomic.Int64 // highest root (first-level V) index entered, +1
+	state      atomic.Int32 // WorkerState
+	_          [64]byte     // pad to keep neighboring probes off this line
 }
 
 // NodeLN counts one node expanded by the list-based procedures (Baseline,
@@ -113,6 +115,22 @@ func (p *WorkerProbe) Biclique() {
 func (p *WorkerProbe) Bitmap() {
 	if p != nil {
 		p.bitmaps.Add(1)
+	}
+}
+
+// Promote counts one list-procedure subtree switching to the bitwise
+// procedure (LN→BIT promotion at the τ boundary).
+func (p *WorkerProbe) Promote() {
+	if p != nil {
+		p.promotes.Add(1)
+	}
+}
+
+// ArenaReuse counts one parallel spawn whose detach copy was served from
+// the worker's recycled-node arena instead of a fresh allocation.
+func (p *WorkerProbe) ArenaReuse() {
+	if p != nil {
+		p.arenaReuse.Add(1)
 	}
 }
 
@@ -366,8 +384,12 @@ type Snapshot struct {
 	NodesBit  int64 `json:"nodes_bit"`
 	Bicliques int64 `json:"bicliques"`
 	Bitmaps   int64 `json:"bitmaps"`
-	Tasks     int64 `json:"tasks"`
-	Steals    int64 `json:"steals"`
+	// BitPromotions counts LN→BIT subtree promotions; ArenaReuse counts
+	// parallel spawns whose detach copy recycled an arena node.
+	BitPromotions int64 `json:"bit_promotions,omitempty"`
+	ArenaReuse    int64 `json:"arena_reuse,omitempty"`
+	Tasks         int64 `json:"tasks"`
+	Steals        int64 `json:"steals"`
 
 	// RootDone/RootTotal is the enumeration-tree frontier: how many
 	// first-level (root) candidates have been entered out of |V|.
@@ -421,6 +443,8 @@ func (r *Recorder) Snapshot() Snapshot {
 		s.NodesBit += bit
 		s.Bicliques += w.Bicliques
 		s.Bitmaps += p.bitmaps.Load()
+		s.BitPromotions += p.promotes.Load()
+		s.ArenaReuse += p.arenaReuse.Load()
 		s.Tasks += w.Tasks
 		s.Steals += w.Steals
 		if root := p.root.Load(); root > s.RootDone {

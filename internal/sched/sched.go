@@ -345,3 +345,49 @@ func (p *Pool[T]) Counters() Counters {
 		MaxQueueDepth: p.maxDepth.Load(),
 	}
 }
+
+// FreeList is a worker-local recycling stack for task objects, closing the
+// allocation loop of the task lifecycle: the worker that finishes a task
+// Puts its shell (retained buffers and all) and the next spawn Gets it back
+// instead of allocating. Ownership follows the task — a node detached by
+// worker A and executed by thief B lands on B's free list, which is exactly
+// right: B is also the worker about to spawn from the stolen subtree.
+//
+// Not safe for concurrent use; each worker owns one FreeList, touched only
+// from its own goroutine (Get at spawn, Put after TaskDone). The list only
+// ever holds nodes that have left the pool, so its length is bounded by the
+// worker's share of the peak in-flight task footprint, not by spawn
+// traffic.
+type FreeList[T any] struct {
+	free   []*T
+	hits   int64
+	misses int64
+}
+
+// Get pops a recycled object, or reports a miss (the caller allocates).
+func (f *FreeList[T]) Get() (*T, bool) {
+	if n := len(f.free); n > 0 {
+		t := f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+		f.hits++
+		return t, true
+	}
+	f.misses++
+	return nil, false
+}
+
+// Put pushes a finished task object for reuse. The caller must not touch t
+// again until a Get returns it.
+func (f *FreeList[T]) Put(t *T) {
+	if t != nil {
+		f.free = append(f.free, t)
+	}
+}
+
+// Len returns the number of objects currently parked on the list.
+func (f *FreeList[T]) Len() int { return len(f.free) }
+
+// Stats returns how many Gets were served from the list vs fell through to
+// allocation.
+func (f *FreeList[T]) Stats() (hits, misses int64) { return f.hits, f.misses }

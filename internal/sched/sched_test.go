@@ -206,3 +206,33 @@ func TestSeedCapacity(t *testing.T) {
 		}
 	}
 }
+
+func TestFreeList(t *testing.T) {
+	var f FreeList[int]
+	if _, ok := f.Get(); ok {
+		t.Fatal("empty list returned a value")
+	}
+	a, b := new(int), new(int)
+	*a, *b = 1, 2
+	f.Put(a)
+	f.Put(b)
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", f.Len())
+	}
+	// LIFO: the most recently parked object comes back first (warmest
+	// buffers for the next reuse).
+	got, ok := f.Get()
+	if !ok || got != b {
+		t.Fatalf("Get returned %v, want b", got)
+	}
+	if got, ok := f.Get(); !ok || got != a {
+		t.Fatalf("Get returned %v, want a", got)
+	}
+	if _, ok := f.Get(); ok {
+		t.Fatal("drained list returned a value")
+	}
+	hits, misses := f.Stats()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("Stats = %d/%d, want 2 hits, 2 misses", hits, misses)
+	}
+}

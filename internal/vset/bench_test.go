@@ -55,6 +55,38 @@ func BenchmarkIntersect(b *testing.B) {
 	}
 }
 
+// BenchmarkIntersectGallop isolates the gallop kernel (small-vs-large with
+// the branch-free binary probe) at increasing skew; the merge kernel at the
+// same shapes is the baseline the adaptive cutoff switches away from.
+func BenchmarkIntersectGallop(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	shapes := []struct {
+		name   string
+		na, nb int
+	}{
+		{"8x1024", 8, 1024},
+		{"8x16384", 8, 16384},
+		{"64x16384", 64, 16384},
+	}
+	for _, s := range shapes {
+		a := randSorted(rng, s.na, 1<<20)
+		c := randSorted(rng, s.nb, 1<<20)
+		dst := make([]int32, s.na)
+		b.Run("Gallop/"+s.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				IntersectGallop(dst, a, c)
+			}
+		})
+		b.Run("Merge/"+s.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				IntersectInto(dst, a, c)
+			}
+		})
+	}
+}
+
 func BenchmarkSlabAllocRelease(b *testing.B) {
 	var s Slab[int32]
 	b.ReportAllocs()

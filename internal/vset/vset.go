@@ -34,11 +34,20 @@ func IntersectInto(dst, a, b []int32) int {
 // element of small in large, and returns the count. Both inputs sorted
 // duplicate-free; intended for |small| ≪ |large| where the merge's
 // O(|small|+|large|) scan wastes most of its work.
+//
+// The probe after the gallop is the branch-free half-interval form: the
+// search interval only ever shrinks by `half`, and the single data-
+// dependent update (`base += half`) is a conditional add the compiler
+// lowers to a CMOV instead of a predicted branch. On the adversarial
+// near-uniform neighborhoods of the L ∩ N(v) hot path, mispredicted
+// binary-search branches — not memory — dominate the classic form.
 func IntersectGallop(dst, small, large []int32) int {
 	n := 0
 	lo := 0
 	for _, x := range small {
-		// Galloping lower bound within large[lo:].
+		// Galloping upper bound within large[lo:]: exponential steps until
+		// large[hi-1] >= x, giving an interval [lo, hi) that holds the
+		// lower bound of x.
 		step := 1
 		hi := lo
 		for hi < len(large) && large[hi] < x {
@@ -49,14 +58,23 @@ func IntersectGallop(dst, small, large []int32) int {
 		if hi > len(large) {
 			hi = len(large)
 		}
-		// Binary search in (lo-1, hi].
-		for lo < hi {
-			mid := int(uint(lo+hi) >> 1)
-			if large[mid] < x {
-				lo = mid + 1
-			} else {
-				hi = mid
+		// Branch-free lower bound in [lo, hi]: invariant — the lower bound
+		// lies in [base, base+span]. Each iteration halves span with one
+		// comparison and a conditional add; the final one-step fixup
+		// resolves the two-element ambiguity the loop leaves.
+		if span := hi - lo; span > 0 {
+			base := lo
+			for span > 1 {
+				half := span >> 1
+				if large[base+half-1] < x {
+					base += half
+				}
+				span -= half
 			}
+			if large[base] < x {
+				base++
+			}
+			lo = base
 		}
 		if lo < len(large) && large[lo] == x {
 			dst[n] = x
