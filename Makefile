@@ -44,18 +44,19 @@ repro-quick:
 # Differential + metamorphic correctness sweep (digest equality across all
 # engines × orderings × thread counts); the PR-gating leg.
 difftest:
-	$(GO) test ./internal/difftest -v -run 'TestSweep|TestMetamorphic|TestInjected|TestDup|TestReplay'
+	$(GO) test ./internal/difftest -v -run 'TestSweep|TestBBK|TestMetamorphic|TestInjected|TestDup|TestReplay'
 
 # Nightly-scale sweep: larger graphs, fresh seed, race detector. Any
 # disagreement is minimized into internal/difftest/testdata/repros/.
 difftest-extended:
 	MBE_DIFFTEST_EXTENDED=1 MBE_DIFFTEST_SEED=$${MBE_DIFFTEST_SEED:-$$(date +%s)} \
-		$(GO) test -race ./internal/difftest -v -timeout 60m -run 'TestExtendedSweep|TestSweep|TestMetamorphic|TestReplay'
+		$(GO) test -race ./internal/difftest -v -timeout 60m -run 'TestExtendedSweep|TestSweep|TestBBK|TestMetamorphic|TestReplay'
 
 fuzz:
 	$(GO) test ./internal/graph -fuzz FuzzReadKonect -fuzztime 30s
 	$(GO) test ./internal/graph -fuzz FuzzReadBinary -fuzztime 30s
 	$(GO) test ./internal/core -fuzz FuzzEnumerateAgreement -fuzztime 60s
+	$(GO) test ./internal/difftest -fuzz FuzzBBK -fuzztime 60s
 
 clean:
 	rm -rf results/

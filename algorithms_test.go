@@ -1,0 +1,84 @@
+package mbe_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	mbe "repro"
+)
+
+// TestAlgorithmTableDrift pins the contract that AlgorithmNames, String
+// and ParseAlgorithm derive from one table: every listed spelling parses
+// and round-trips, every enum value is listed, the menu order is the
+// AdaMBE family followed by the remaining engines sorted
+// case-insensitively, and the "want a|b|…" error text is generated from
+// the list rather than hand-maintained.
+func TestAlgorithmTableDrift(t *testing.T) {
+	family := []string{"AdaMBE", "ParAdaMBE", "Baseline", "AdaMBE-LN", "AdaMBE-BIT"}
+	if len(mbe.AlgorithmNames) < len(family)+1 {
+		t.Fatalf("AlgorithmNames suspiciously short: %v", mbe.AlgorithmNames)
+	}
+	for i, want := range family {
+		if mbe.AlgorithmNames[i] != want {
+			t.Fatalf("AlgorithmNames[%d] = %q, want the AdaMBE family prefix %v", i, mbe.AlgorithmNames[i], family)
+		}
+	}
+	tail := mbe.AlgorithmNames[len(family):]
+	if !sort.SliceIsSorted(tail, func(i, j int) bool {
+		return strings.ToLower(tail[i]) < strings.ToLower(tail[j])
+	}) {
+		t.Fatalf("non-family algorithm names not sorted case-insensitively: %v", tail)
+	}
+
+	seen := map[mbe.Algorithm]string{}
+	for _, name := range mbe.AlgorithmNames {
+		a, err := mbe.ParseAlgorithm(name)
+		if err != nil {
+			t.Fatalf("listed name %q does not parse: %v", name, err)
+		}
+		if prev, dup := seen[a]; dup {
+			t.Fatalf("names %q and %q parse to the same algorithm %v", prev, name, a)
+		}
+		seen[a] = name
+		// Case-insensitive: the daemon's JSON convention is lowercase.
+		for _, variant := range []string{strings.ToLower(name), strings.ToUpper(name)} {
+			got, err := mbe.ParseAlgorithm(variant)
+			if err != nil || got != a {
+				t.Fatalf("ParseAlgorithm(%q) = %v, %v; want %v (case-insensitive)", variant, got, err, a)
+			}
+		}
+		// String round-trips through Parse (display forms like GMBE-sim
+		// are accepted too).
+		if back, err := mbe.ParseAlgorithm(a.String()); err != nil || back != a {
+			t.Fatalf("String %q of %v does not parse back: %v, %v", a.String(), a, back, err)
+		}
+	}
+
+	// Every enum value is listed exactly once: walk the contiguous enum
+	// until String falls off the table.
+	n := 0
+	for ; !strings.HasPrefix(mbe.Algorithm(n).String(), "Algorithm("); n++ {
+	}
+	if n != len(mbe.AlgorithmNames) {
+		t.Fatalf("%d enum values but %d listed names: %v", n, len(mbe.AlgorithmNames), mbe.AlgorithmNames)
+	}
+
+	// The unknown-name error embeds the generated menu, so help text and
+	// error text cannot drift apart.
+	_, err := mbe.ParseAlgorithm("definitely-not-an-algorithm")
+	if err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if want := strings.Join(mbe.AlgorithmNames, "|"); !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not embed the generated menu %q", err, want)
+	}
+
+	// The default and the daemon's lowercase BBK spelling.
+	if a, err := mbe.ParseAlgorithm(""); err != nil || a != mbe.AdaMBE {
+		t.Fatalf("empty name = %v, %v; want AdaMBE", a, err)
+	}
+	if a, err := mbe.ParseAlgorithm("bbk"); err != nil || a != mbe.BBK {
+		t.Fatalf(`ParseAlgorithm("bbk") = %v, %v; want BBK`, a, err)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,7 +56,7 @@ func main() {
 		input     = flag.String("i", "", "input KONECT edge-list file")
 		binary    = flag.String("bin", "", "input binary graph cache (see mbegen -bin)")
 		dataset   = flag.String("d", "", "built-in synthetic dataset name (e.g. GH, BX, ceb, LJ30)")
-		algo      = flag.String("a", "AdaMBE", "algorithm: AdaMBE|ParAdaMBE|Baseline|AdaMBE-LN|AdaMBE-BIT|FMBE|PMBE|ooMBEA|ParMBE|GMBE")
+		algo      = flag.String("a", "AdaMBE", "algorithm: "+strings.Join(mbe.AlgorithmNames, "|"))
 		threads   = flag.Int("t", 0, "threads for parallel algorithms (0 = all cores)")
 		tau       = flag.Int("tau", 0, "bitmap threshold τ (0 = 64)")
 		ord       = flag.String("o", "asc", "vertex ordering for the AdaMBE family: asc|rand|uc|none")
@@ -71,7 +72,7 @@ func main() {
 		query     = flag.Int("query", -1, "personalized maximum biclique containing V-side vertex N")
 		minL      = flag.Int("minl", 0, "size-bounded enumeration: require |L| ≥ minl (with -minr)")
 		minR      = flag.Int("minr", 0, "size-bounded enumeration: require |R| ≥ minr (with -minl)")
-		out       = flag.String("out", "", "spool directory: stream every biclique to durable sharded storage (AdaMBE family only)")
+		out       = flag.String("out", "", "spool directory: stream every biclique to durable sharded storage (AdaMBE family and BBK)")
 		resume    = flag.Bool("resume", false, "resume an interrupted spooled run from its checkpoint (requires -out)")
 		fsync     = flag.String("fsync", "checkpoint", "spool fsync policy: never|checkpoint|always")
 		ckptEvery = flag.Duration("ckpt-every", 0, "checkpoint cadence for -out (0 = default 10s, negative = only at exit)")

@@ -44,6 +44,12 @@ const (
 	OOMBEA Algorithm = "ooMBEA"
 	ParMBE Algorithm = "ParMBE"
 	GMBE   Algorithm = "GMBE"
+	// BBK is not in the paper's evaluation: it is the pivot-based
+	// bipartite Bron–Kerbosch of Baudin et al. (arXiv:2405.04428), added
+	// as a post-paper serial engine; see bbk.go. Unlike the other
+	// competitors it supports the durable emission path
+	// (Options.Sink/Frontier/StartRoot).
+	BBK Algorithm = "BBK"
 )
 
 // Serial lists the serial competitors (Fig. 8a left group, Fig. 13).
@@ -52,9 +58,10 @@ func Serial() []Algorithm { return []Algorithm{FMBE, PMBE, OOMBEA} }
 // Parallel lists the parallel competitors (Fig. 8a right group, Fig. 14).
 func Parallel() []Algorithm { return []Algorithm{ParMBE, GMBE} }
 
-// All lists every competitor, serial first. The differential harness
+// All lists every baseline algorithm, paper serial group first, then the
+// parallel group, then the post-paper additions. The differential harness
 // iterates this to cover the full engine matrix.
-func All() []Algorithm { return append(Serial(), Parallel()...) }
+func All() []Algorithm { return append(append(Serial(), Parallel()...), BBK) }
 
 // Options configures a baseline run.
 type Options struct {
@@ -80,6 +87,19 @@ type Options struct {
 	// core.Options.FaultHook: an error simulates an allocation failure, a
 	// panic exercises the panic-isolation path. Test-only.
 	FaultHook func(site string) error
+	// Metrics, if non-nil, gathers node and set-intersection counters.
+	// Only BBK reports metrics; the paper competitors ignore it (their
+	// instrumentation lives in the figures they were built to reproduce).
+	Metrics *core.Metrics
+	// Sink, Frontier and StartRoot attach the durable emission path
+	// (root-tagged emission, frontier watermark, resume-from-watermark)
+	// with the same contract as the core engines' core.Options fields.
+	// BBK only: it shares the core engines' root partition (a maximal
+	// biclique is emitted under root min(R)), so spool checkpoints are
+	// exact for it too. The paper competitors ignore all three.
+	Sink      core.Sink
+	Frontier  core.FrontierObserver
+	StartRoot int32
 }
 
 // Instrumentation sites where Options.FaultHook fires.
@@ -93,6 +113,8 @@ const (
 	// SiteGMBETask fires at every GMBE-sim task start and per candidate
 	// expansion inside a warp.
 	SiteGMBETask = "baselines/gmbe-task"
+	// SiteBBKNode fires per root and per pivot branch in BBK.
+	SiteBBKNode = "baselines/bbk-node"
 )
 
 // stopConfig translates Options into the shared stopper conditions.
@@ -146,6 +168,8 @@ func Run(g *graph.Bipartite, alg Algorithm, opts Options) (core.Result, error) {
 		res, err = runParMBE(g, opts, shared)
 	case GMBE:
 		res, err = runGMBESim(g, opts, shared)
+	case BBK:
+		res, err = runBBK(g, opts, shared)
 	default:
 		return core.Result{}, fmt.Errorf("baselines: unknown algorithm %q", alg)
 	}

@@ -12,7 +12,7 @@ import (
 )
 
 func allAlgorithms() []Algorithm {
-	return []Algorithm{FMBE, PMBE, OOMBEA, ParMBE, GMBE}
+	return All() // FMBE, PMBE, ooMBEA, ParMBE, GMBE, BBK
 }
 
 func collect(t *testing.T, g *graph.Bipartite, alg Algorithm, opts Options) ([]string, core.Result) {
@@ -139,6 +139,10 @@ func TestUnknownAlgorithmRejected(t *testing.T) {
 func TestSerialParallelLists(t *testing.T) {
 	if len(Serial()) != 3 || len(Parallel()) != 2 {
 		t.Fatalf("algorithm lists wrong: %v / %v", Serial(), Parallel())
+	}
+	all := All()
+	if len(all) != 6 || all[len(all)-1] != BBK {
+		t.Fatalf("All() must list the paper groups then BBK: %v", all)
 	}
 }
 

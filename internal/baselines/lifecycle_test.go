@@ -64,7 +64,7 @@ func TestGMBEWarpPanicMidRun(t *testing.T) {
 
 func TestSerialBaselinePanicInHandlerRecovered(t *testing.T) {
 	g := lifecycleGraph()
-	for _, alg := range Serial() {
+	for _, alg := range append(Serial(), BBK) {
 		n := 0
 		res, err := Run(g, alg, Options{
 			OnBiclique: func(L, R []int32) {
@@ -159,5 +159,55 @@ func TestSerialBaselineAllocFailInjection(t *testing.T) {
 	}
 	if res.Count <= 0 || res.Count >= full.Count {
 		t.Fatalf("partial count %d, want in (0, %d)", res.Count, full.Count)
+	}
+}
+
+func TestBBKAllocFailInjection(t *testing.T) {
+	g := lifecycleGraph()
+	full, err := Run(g, BBK, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(19)
+	inj.FailAllocAt(SiteBBKNode, 500)
+	res, err := Run(g, BBK, Options{FaultHook: inj.Hook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != core.StopMemoryBudget {
+		t.Fatalf("StopReason = %v, want StopMemoryBudget", res.StopReason)
+	}
+	if res.Count <= 0 || res.Count >= full.Count {
+		t.Fatalf("partial count %d, want in (0, %d)", res.Count, full.Count)
+	}
+}
+
+func TestBBKMidRunCancel(t *testing.T) {
+	g := lifecycleGraph()
+	full, err := Run(g, BBK, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Count < 100 {
+		t.Fatalf("degenerate lifecycle graph: %d bicliques", full.Count)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := int64(0)
+	res, err := Run(g, BBK, Options{
+		Context: ctx,
+		OnBiclique: func(L, R []int32) {
+			if n++; n == 50 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != core.StopCanceled {
+		t.Fatalf("StopReason = %v, want StopCanceled", res.StopReason)
+	}
+	if res.Count < 50 || res.Count >= full.Count {
+		t.Fatalf("partial count %d, want in [50, %d)", res.Count, full.Count)
 	}
 }

@@ -11,7 +11,8 @@ import (
 )
 
 // Engine identifies one enumeration implementation: the four serial
-// AdaMBE-family variants, ParAdaMBE, and the five competitor baselines.
+// AdaMBE-family variants, ParAdaMBE, the five competitor baselines, and
+// the post-paper BBK engine.
 type Engine int
 
 const (
@@ -25,6 +26,7 @@ const (
 	EngOOMBEA
 	EngParMBE
 	EngGMBE
+	EngBBK // pivot-based bipartite Bron–Kerbosch (baselines.BBK)
 	numEngines
 )
 
@@ -60,6 +62,8 @@ func (e Engine) String() string {
 		return "ParMBE"
 	case EngGMBE:
 		return "GMBE-sim"
+	case EngBBK:
+		return "BBK"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -108,6 +112,8 @@ func (e Engine) baselineAlg() (baselines.Algorithm, bool) {
 		return baselines.ParMBE, true
 	case EngGMBE:
 		return baselines.GMBE, true
+	case EngBBK:
+		return baselines.BBK, true
 	}
 	return "", false
 }

@@ -115,6 +115,52 @@ func TestSweepTauBoundaries(t *testing.T) {
 	}
 }
 
+// TestBBKSweepAgainstOracle anchors BBK to the brute-force oracle across
+// every ordering, on the standard quick families plus two fixtures aimed
+// at its pivot rule: a dense near-biclique (every branch has huge local
+// degrees, so absorption and domination pruning fire constantly) and a
+// star-heavy skew (a few hub V vertices dominate every candidate set, so
+// the max-degree pivot is always a hub and must still not lose the
+// degree-1 periphery).
+func TestBBKSweepAgainstOracle(t *testing.T) {
+	graphs := map[string]*graph.Bipartite{
+		"dense":      gen.Uniform(402, 24, 16, 300),
+		"star-heavy": gen.PowerLaw(403, 120, 20, 400, 1.1, 2.8),
+	}
+	for name, g := range quickFamilies(t) {
+		if g.NV() <= core.MaxBruteForceV {
+			graphs[name] = g
+		}
+	}
+	configs := Matrix(MatrixOpts{Threads: []int{1}, Seed: 11})
+	for name, g := range graphs {
+		want := BruteDigest(g)
+		for _, c := range configs {
+			if c.Engine != EngBBK {
+				continue
+			}
+			got, err := Run(g, c)
+			if err != nil {
+				t.Fatalf("%s [%s]: %v", name, c, err)
+			}
+			if !got.Equal(want) {
+				t.Errorf("%s [%s]: digest %s != oracle %s", name, c, got, want)
+			}
+		}
+	}
+	// The fixtures also join the full cross-engine sweep, so BBK's digest
+	// is pinned to every other engine on them, not just the oracle.
+	for name, g := range graphs {
+		mismatches, err := Sweep(g, configs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, m := range mismatches {
+			t.Error(name, m)
+		}
+	}
+}
+
 // TestMetamorphicInvariance applies every transformation and asserts the
 // mapped-back digest matches the original enumeration's digest.
 func TestMetamorphicInvariance(t *testing.T) {
@@ -126,6 +172,7 @@ func TestMetamorphicInvariance(t *testing.T) {
 		{Engine: EngAda},
 		{Engine: EngParAda, Threads: 4},
 		{Engine: EngFMBE},
+		{Engine: EngBBK},
 	}
 	for gname, g := range graphs {
 		ref, err := Run(g, engines[0])

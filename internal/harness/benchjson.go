@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/baselines"
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -150,6 +151,42 @@ func BenchParallel(cfg Config, outPath string) error {
 		Runs:       []BenchRun{},
 	}
 
+	// measureBBK records the serial BBK row: same wall/allocation columns
+	// as the core rows (scheduler counters stay zero — BBK is serial), so
+	// the trajectory tracks the pivot engine's perf alongside AdaMBE's.
+	measureBBK := func(dataset string, g *graph.Bipartite) (BenchRun, error) {
+		deadline := time.Now().Add(cfg.tle())
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
+		start := time.Now()
+		res, err := baselines.Run(g, baselines.BBK, baselines.Options{
+			Deadline: deadline,
+			Context:  cfg.ctx(),
+		})
+		wall := time.Since(start)
+		runtime.ReadMemStats(&msAfter)
+		if err != nil {
+			return BenchRun{}, fmt.Errorf("harness: %s on %s: %w", AlgoBBK, dataset, err)
+		}
+		if res.StopReason != core.StopNone {
+			return BenchRun{}, fmt.Errorf("harness: %s on %s stopped early (%v); raise -tle for a comparable trajectory",
+				AlgoBBK, dataset, res.StopReason)
+		}
+		run := BenchRun{
+			Dataset:    dataset,
+			Algorithm:  AlgoBBK,
+			Threads:    1,
+			WallMS:     float64(wall.Microseconds()) / 1e3,
+			Count:      res.Count,
+			Allocs:     int64(msAfter.Mallocs - msBefore.Mallocs),
+			AllocBytes: int64(msAfter.TotalAlloc - msBefore.TotalAlloc),
+		}
+		if res.Count > 0 {
+			run.AllocsPerBiclique = float64(run.Allocs) / float64(res.Count)
+		}
+		return run, nil
+	}
+
 	measure := func(dataset string, g *graph.Bipartite, algo string, threads int) (BenchRun, error) {
 		var m core.Metrics
 		var rec *obs.Recorder
@@ -280,6 +317,18 @@ func BenchParallel(cfg Config, outPath string) error {
 		file.Runs = append(file.Runs, serial)
 		fmt.Fprintf(out, "%-6s %-10s t=%d  %8.1fms  count=%d\n",
 			spec.Acronym, serial.Algorithm, serial.Threads, serial.WallMS, serial.Count)
+
+		bbk, err := measureBBK(spec.Acronym, g)
+		if err != nil {
+			return err
+		}
+		if bbk.Count != serial.Count {
+			return fmt.Errorf("harness: BBK on %s counted %d, serial AdaMBE %d — enumeration correctness regression",
+				spec.Acronym, bbk.Count, serial.Count)
+		}
+		file.Runs = append(file.Runs, bbk)
+		fmt.Fprintf(out, "%-6s %-10s t=%d  %8.1fms  count=%d  allocs/bc=%.1f\n",
+			spec.Acronym, bbk.Algorithm, bbk.Threads, bbk.WallMS, bbk.Count, bbk.AllocsPerBiclique)
 
 		widestMS := serial.WallMS
 		for _, t := range benchThreadSweep {

@@ -157,6 +157,7 @@ const (
 	AlgoOOMBEA    = "ooMBEA"
 	AlgoParMBE    = "ParMBE"
 	AlgoGMBE      = "GMBE-sim"
+	AlgoBBK       = "BBK"
 )
 
 // SerialAlgos is the Fig. 8a serial lineup; ParallelAlgos the parallel one.
@@ -200,6 +201,11 @@ func RunAlgorithm(g *graph.Bipartite, algo string, cfg Config, metrics *core.Met
 		res, err = baselines.Run(g, baselines.ParMBE, baselines.Options{Deadline: deadline, Context: cfg.ctx(), Threads: cfg.threads()})
 	case AlgoGMBE:
 		res, err = baselines.Run(g, baselines.GMBE, baselines.Options{Deadline: deadline, Context: cfg.ctx(), Threads: cfg.threads()})
+	case AlgoBBK:
+		// BBK pins its root decomposition to the V ordering like the
+		// AdaMBE family, so it gets the same ASC permutation.
+		og := order.Apply(g, order.DegreeAscending, 0)
+		res, err = baselines.Run(og, baselines.BBK, baselines.Options{Deadline: deadline, Context: cfg.ctx(), Metrics: metrics})
 	default:
 		return RunResult{}, fmt.Errorf("harness: unknown algorithm %q", algo)
 	}

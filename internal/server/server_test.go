@@ -205,6 +205,30 @@ func TestServerRoundTrip(t *testing.T) {
 	}
 }
 
+// TestServerBBKJob runs a daemon job under the BBK engine, submitted in
+// the JSON convention's lowercase spelling, and requires the spooled
+// result to match a direct in-memory enumeration digest — the end-to-end
+// proof that BBK supports the durable-spool lifecycle the daemon needs.
+func TestServerBBKJob(t *testing.T) {
+	d := startDaemon(t, server.Config{})
+	g := smallGraph()
+	want := directDigest(t, g)
+
+	id := d.submitGraph(g)
+	sub, resp := d.submitJob(server.JobSpec{GraphID: id, Algorithm: "bbk"})
+	if resp.StatusCode != http.StatusAccepted || sub.JobID == "" {
+		t.Fatalf("submit bbk job: status %d, %+v", resp.StatusCode, sub)
+	}
+	m := d.wait(sub.JobID, time.Minute)
+	if m.State != server.JobDone || m.Result == nil {
+		t.Fatalf("bbk job finished %s (error %q), want done", m.State, m.Error)
+	}
+	if m.Result.Count != want.Count || m.Result.Digest != want.String() {
+		t.Errorf("bbk daemon digest %s (count %d), direct run %s (count %d)",
+			m.Result.Digest, m.Result.Count, want.String(), want.Count)
+	}
+}
+
 func TestServerRejectsBadSubmissions(t *testing.T) {
 	d := startDaemon(t, server.Config{})
 	id := d.submitGraph(smallGraph())

@@ -184,68 +184,76 @@ const (
 	OOMBEA
 	ParMBE
 	GMBESim
+	// BBK is the pivot-based bipartite Bron–Kerbosch of Baudin et al.
+	// (arXiv:2405.04428), a post-paper serial engine. Unlike the paper
+	// competitors it honors Ordering and supports the durable spool
+	// (SpoolDir/Resume).
+	BBK
 )
+
+// algorithmTable is the single source of truth for every Algorithm's
+// spellings: String, AlgorithmNames and ParseAlgorithm all derive from
+// it, so the CLI/daemon help and the "want a|b|…" error can never drift
+// from the enum (TestAlgorithmTableDrift pins this). Menu order: the
+// AdaMBE family in the paper's ablation order, then every other engine
+// sorted case-insensitively by name. name is the canonical CLI/API
+// spelling; display, when non-empty, is the distinct String() form.
+var algorithmTable = []struct {
+	alg     Algorithm
+	name    string
+	display string
+}{
+	{alg: AdaMBE, name: "AdaMBE"},
+	{alg: ParAdaMBE, name: "ParAdaMBE"},
+	{alg: BaselineMBE, name: "Baseline"},
+	{alg: AdaMBELN, name: "AdaMBE-LN"},
+	{alg: AdaMBEBIT, name: "AdaMBE-BIT"},
+	{alg: BBK, name: "BBK"},
+	{alg: FMBE, name: "FMBE"},
+	{alg: GMBESim, name: "GMBE", display: "GMBE-sim"},
+	{alg: OOMBEA, name: "ooMBEA"},
+	{alg: ParMBE, name: "ParMBE"},
+	{alg: PMBE, name: "PMBE"},
+}
 
 // String returns the algorithm's name as used in the paper.
 func (a Algorithm) String() string {
-	switch a {
-	case AdaMBE:
-		return "AdaMBE"
-	case ParAdaMBE:
-		return "ParAdaMBE"
-	case BaselineMBE:
-		return "Baseline"
-	case AdaMBELN:
-		return "AdaMBE-LN"
-	case AdaMBEBIT:
-		return "AdaMBE-BIT"
-	case FMBE:
-		return "FMBE"
-	case PMBE:
-		return "PMBE"
-	case OOMBEA:
-		return "ooMBEA"
-	case ParMBE:
-		return "ParMBE"
-	case GMBESim:
-		return "GMBE-sim"
-	default:
-		return fmt.Sprintf("Algorithm(%d)", int(a))
+	for _, e := range algorithmTable {
+		if e.alg == a {
+			if e.display != "" {
+				return e.display
+			}
+			return e.name
+		}
 	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
 // AlgorithmNames lists the CLI/API spellings accepted by ParseAlgorithm,
-// in menu order.
-var AlgorithmNames = []string{
-	"AdaMBE", "ParAdaMBE", "Baseline", "AdaMBE-LN", "AdaMBE-BIT",
-	"FMBE", "PMBE", "ooMBEA", "ParMBE", "GMBE",
-}
+// in menu order: the AdaMBE family first, then the remaining engines
+// sorted case-insensitively. Derived from the same table as String and
+// ParseAlgorithm.
+var AlgorithmNames = func() []string {
+	names := make([]string, len(algorithmTable))
+	for i, e := range algorithmTable {
+		names[i] = e.name
+	}
+	return names
+}()
 
-// ParseAlgorithm maps a CLI/API algorithm name to its Algorithm. It is
-// the shared flag plumbing of cmd/mbe and cmd/mbed, so a job submitted
-// to the daemon accepts exactly the spellings the CLI does.
+// ParseAlgorithm maps a CLI/API algorithm name to its Algorithm,
+// case-insensitively ("bbk" and "BBK" both work, as do display forms
+// like "GMBE-sim"); the empty string is the default, AdaMBE. It is the
+// shared flag plumbing of cmd/mbe and cmd/mbed, so a job submitted to
+// the daemon accepts exactly the spellings the CLI does.
 func ParseAlgorithm(name string) (Algorithm, error) {
-	switch name {
-	case "AdaMBE", "":
+	if name == "" {
 		return AdaMBE, nil
-	case "ParAdaMBE":
-		return ParAdaMBE, nil
-	case "Baseline":
-		return BaselineMBE, nil
-	case "AdaMBE-LN":
-		return AdaMBELN, nil
-	case "AdaMBE-BIT":
-		return AdaMBEBIT, nil
-	case "FMBE":
-		return FMBE, nil
-	case "PMBE":
-		return PMBE, nil
-	case "ooMBEA":
-		return OOMBEA, nil
-	case "ParMBE":
-		return ParMBE, nil
-	case "GMBE":
-		return GMBESim, nil
+	}
+	for _, e := range algorithmTable {
+		if strings.EqualFold(name, e.name) || (e.display != "" && strings.EqualFold(name, e.display)) {
+			return e.alg, nil
+		}
 	}
 	return 0, fmt.Errorf("mbe: unknown algorithm %q (want %s)", name, strings.Join(AlgorithmNames, "|"))
 }
@@ -268,8 +276,8 @@ func ParseOrdering(name string) (Ordering, error) {
 	return 0, fmt.Errorf("mbe: unknown ordering %q (want %s)", name, strings.Join(OrderingNames, "|"))
 }
 
-// Ordering selects the V-side processing order for the AdaMBE family
-// (competitors use their own papers' defaults).
+// Ordering selects the V-side processing order for the AdaMBE family and
+// BBK (the paper competitors use their own papers' defaults).
 type Ordering int
 
 const (
@@ -356,7 +364,8 @@ type Options struct {
 	// representations of the competitors). Exceeding it stops the run with
 	// partial counts and Result.StopReason == StopMemoryBudget.
 	MaxMemoryBytes int64
-	// Metrics, if non-nil, gathers instrumentation (AdaMBE family only).
+	// Metrics, if non-nil, gathers instrumentation (AdaMBE family and
+	// BBK; the paper competitors ignore it).
 	Metrics *Metrics
 	// Obs, if non-nil, receives live progress: in-flight counters, worker
 	// states and root-frontier advance, snapshottable mid-run (AdaMBE
@@ -367,9 +376,9 @@ type Options struct {
 	// SpoolDir, if non-empty, streams every maximal biclique to a durable
 	// sharded on-disk spool in that directory (created if absent) and
 	// periodically checkpoints the run so an interrupted enumeration can
-	// be resumed with Resume — see docs/DURABILITY.md. AdaMBE family
-	// only. OnBiclique still fires if set; a spooled run does not need
-	// one. Read results back with ReadSpool or SpoolDigest.
+	// be resumed with Resume — see docs/DURABILITY.md. AdaMBE family and
+	// BBK only. OnBiclique still fires if set; a spooled run does not
+	// need one. Read results back with ReadSpool or SpoolDigest.
 	SpoolDir string
 	// Resume continues an interrupted spooled run: the spool in SpoolDir
 	// is rewound to its last checkpoint and enumeration restarts at the
@@ -430,9 +439,14 @@ func Enumerate(g *Graph, opts Options) (Result, error) {
 			return enumerateSpooled(g, opts)
 		}
 		return enumerateCore(g, opts)
+	case BBK:
+		if opts.SpoolDir != "" {
+			return enumerateSpooledBBK(g, opts)
+		}
+		return enumerateBBK(g, opts)
 	case FMBE, PMBE, OOMBEA, ParMBE, GMBESim:
 		if opts.SpoolDir != "" {
-			return Result{}, fmt.Errorf("mbe: SpoolDir is only supported by the AdaMBE family, not %s", opts.Algorithm)
+			return Result{}, fmt.Errorf("mbe: SpoolDir is only supported by the AdaMBE family and BBK, not %s", opts.Algorithm)
 		}
 		alg := map[Algorithm]baselines.Algorithm{
 			FMBE: baselines.FMBE, PMBE: baselines.PMBE, OOMBEA: baselines.OOMBEA,
@@ -450,15 +464,12 @@ func Enumerate(g *Graph, opts Options) (Result, error) {
 	}
 }
 
-// resolveCoreRun maps an AdaMBE-family Options onto the core engine's
-// inputs: the variant, the V-permuted graph, and the permutation used
-// (nil for OrderNone).
-func resolveCoreRun(g *Graph, opts Options) (*graph.Bipartite, core.Variant, []int32, error) {
-	variant := map[Algorithm]core.Variant{
-		AdaMBE: core.Ada, ParAdaMBE: core.Ada, BaselineMBE: core.Baseline,
-		AdaMBELN: core.LN, AdaMBEBIT: core.BIT,
-	}[opts.Algorithm]
-
+// resolveOrdering applies the requested V-side ordering: it returns the
+// (possibly permuted) graph and the permutation used (nil for OrderNone).
+// Shared by the AdaMBE-family paths and BBK — both pin the root
+// decomposition to the ordering, which is what a spool's checkpoint
+// watermark refers to.
+func resolveOrdering(g *Graph, opts Options) (*graph.Bipartite, []int32, error) {
 	b := g.b
 	var perm []int32
 	switch opts.Ordering {
@@ -473,12 +484,43 @@ func resolveCoreRun(g *Graph, opts Options) (*graph.Bipartite, core.Variant, []i
 		var err error
 		b, err = b.PermuteV(perm)
 		if err != nil {
-			return nil, variant, nil, err
+			return nil, nil, err
 		}
 	default:
-		return nil, variant, nil, fmt.Errorf("mbe: unknown ordering %d", int(opts.Ordering))
+		return nil, nil, fmt.Errorf("mbe: unknown ordering %d", int(opts.Ordering))
+	}
+	return b, perm, nil
+}
+
+// resolveCoreRun maps an AdaMBE-family Options onto the core engine's
+// inputs: the variant, the V-permuted graph, and the permutation used
+// (nil for OrderNone).
+func resolveCoreRun(g *Graph, opts Options) (*graph.Bipartite, core.Variant, []int32, error) {
+	variant := map[Algorithm]core.Variant{
+		AdaMBE: core.Ada, ParAdaMBE: core.Ada, BaselineMBE: core.Baseline,
+		AdaMBELN: core.LN, AdaMBEBIT: core.BIT,
+	}[opts.Algorithm]
+	b, perm, err := resolveOrdering(g, opts)
+	if err != nil {
+		return nil, variant, nil, err
 	}
 	return b, variant, perm, nil
+}
+
+// enumerateBBK runs the BBK engine with the mbe-level ordering applied
+// and R ids mapped back to g's id space, like enumerateCore.
+func enumerateBBK(g *Graph, opts Options) (Result, error) {
+	b, perm, err := resolveOrdering(g, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return baselines.Run(b, baselines.BBK, baselines.Options{
+		OnBiclique:     wrapMapBack(opts, perm),
+		Deadline:       opts.Deadline,
+		Context:        opts.Context,
+		MaxMemoryBytes: opts.MaxMemoryBytes,
+		Metrics:        opts.Metrics,
+	})
 }
 
 // coreThreads resolves the effective parallel width (0 = serial).

@@ -36,7 +36,7 @@ func paperGraph(t *testing.T) *mbe.Graph {
 func allAlgorithms() []mbe.Algorithm {
 	return []mbe.Algorithm{
 		mbe.AdaMBE, mbe.ParAdaMBE, mbe.BaselineMBE, mbe.AdaMBELN, mbe.AdaMBEBIT,
-		mbe.FMBE, mbe.PMBE, mbe.OOMBEA, mbe.ParMBE, mbe.GMBESim,
+		mbe.FMBE, mbe.PMBE, mbe.OOMBEA, mbe.ParMBE, mbe.GMBESim, mbe.BBK,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/baselines"
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -109,6 +110,78 @@ func enumerateSpooled(g *Graph, opts Options) (Result, error) {
 		Metrics:        opts.Metrics,
 		Obs:            opts.Obs,
 		Sink:           sess.Sink(perm, workers),
+		Frontier:       sess.Frontier(),
+		StartRoot:      sess.StartRoot(),
+	})
+	complete := err == nil && res.StopReason == StopNone
+	if ferr := sess.Finish(complete); ferr != nil && err == nil {
+		err = fmt.Errorf("mbe: spool: %w", ferr)
+	}
+	return res, err
+}
+
+// enumerateSpooledBBK is enumerateBBK with the durable output path
+// attached, mirroring enumerateSpooled: BBK shares the core engines'
+// root partition (every biclique is emitted under root min(R)), so the
+// same root-tagged spool + frontier-watermark checkpoint protocol is
+// exact for it. BBK is serial, so the spool always has one shard.
+func enumerateSpooledBBK(g *Graph, opts Options) (Result, error) {
+	b, perm, err := resolveOrdering(g, opts)
+	if err != nil {
+		return Result{}, err
+	}
+
+	meta := spool.Meta{
+		Version:   1,
+		Tool:      "mbe",
+		Algorithm: opts.Algorithm.String(),
+		Ordering:  orderingTag(opts.Ordering),
+		OrderSeed: opts.Seed,
+		Tau:       opts.Tau,
+		Shards:    1,
+		NU:        g.NU(),
+		NV:        g.NV(),
+		Edges:     g.NumEdges(),
+		GraphHash: spool.GraphSignature(g.b),
+		Compress:  opts.SpoolCompress,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	// As in enumerateSpooled: a spool write error cancels the run
+	// promptly instead of silently dropping output.
+	baseCtx := opts.Context
+	if baseCtx == nil {
+		baseCtx = context.Background()
+	}
+	runCtx, cancel := context.WithCancel(baseCtx)
+	defer cancel()
+
+	sess, err := ckpt.Open(ckpt.OpenOptions{
+		Dir:    opts.SpoolDir,
+		Meta:   meta,
+		Resume: opts.Resume,
+		Every:  opts.Checkpoint.Every,
+		Writer: spool.WriterOptions{
+			Fsync:   opts.SpoolFsync,
+			OnError: func(error) { cancel() },
+		},
+		OnWarn: opts.OnWarning,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if sess.AlreadyComplete() {
+		return Result{StopReason: StopNone}, nil
+	}
+
+	sess.Start()
+	res, err := baselines.Run(b, baselines.BBK, baselines.Options{
+		OnBiclique:     wrapMapBack(opts, perm),
+		Deadline:       opts.Deadline,
+		Context:        runCtx,
+		MaxMemoryBytes: opts.MaxMemoryBytes,
+		Metrics:        opts.Metrics,
+		Sink:           sess.Sink(perm, 1),
 		Frontier:       sess.Frontier(),
 		StartRoot:      sess.StartRoot(),
 	})

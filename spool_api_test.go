@@ -62,6 +62,7 @@ func TestSpooledEnumerateMatchesInMemory(t *testing.T) {
 		{"AdaMBE", mbe.AdaMBE, 0, false},
 		{"AdaMBE-compressed", mbe.AdaMBE, 0, true},
 		{"ParAdaMBE-4", mbe.ParAdaMBE, 4, false},
+		{"BBK", mbe.BBK, 0, false},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			g, err := mbe.Dataset("UL")
@@ -110,6 +111,7 @@ func TestSpooledInterruptResume(t *testing.T) {
 	}{
 		{"AdaMBE", mbe.AdaMBE, 0},
 		{"ParAdaMBE-4", mbe.ParAdaMBE, 4},
+		{"BBK", mbe.BBK, 0},
 	} {
 		t.Run(algo.name, func(t *testing.T) {
 			g := busyGraph(t)
