@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-kernels bench-parallel repro repro-quick fuzz difftest difftest-extended clean
+.PHONY: all build test test-race bench bench-kernels bench-parallel bench-server repro repro-quick fuzz difftest difftest-extended clean
 
 all: build test
 
@@ -32,6 +32,14 @@ bench-kernels:
 # at GOMAXPROCS=1 — a one-thread "parallel" trajectory can't show scaling.
 bench-parallel:
 	$(GO) run ./cmd/mbebench -json BENCH_parallel.json -datasets UL,UF,GH
+
+# Regenerate the checked-in daemon load-test trajectory: mbeload sweeps
+# concurrent submit→stream→verify clients against an in-process mbed and
+# records p50/p95/p99 latency, throughput and shed rate per level (the
+# knee row is flagged). The file is schema-gated by `mbeload -check` in
+# the CI server-smoke job.
+bench-server:
+	$(GO) run ./cmd/mbeload -self -dataset UL -levels 1,2,4,8 -jobs 8 -json BENCH_server.json
 
 # Regenerate every table and figure of the paper's evaluation (text tables
 # to stdout, CSV series to results/). Takes tens of minutes at full scale.

@@ -30,7 +30,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -57,6 +57,7 @@ func main() {
 		attempts    = flag.Int("max-attempts", 0, "retry budget per job, including the first attempt (0 = 3)")
 		ckptEvery   = flag.Duration("ckpt-every", 0, "per-job checkpoint cadence (0 = default 10s)")
 		quiet       = flag.Bool("quiet", false, "suppress operational log lines")
+		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -65,10 +66,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	logf := log.New(os.Stderr, "mbed: ", log.LstdFlags).Printf
+	// Structured operational logs on stderr; -quiet raises the level so
+	// only errors (failed jobs, manifest write failures) still surface.
+	level := slog.LevelInfo
 	if *quiet {
-		logf = func(string, ...any) {}
+		level = slog.LevelError
 	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, hopts)
+	default:
+		fmt.Fprintf(os.Stderr, "mbed: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler).With("component", "mbed")
 
 	srv, err := server.New(server.Config{
 		Dir:                *dir,
@@ -82,7 +97,7 @@ func main() {
 		DefaultThreads:     *threads,
 		MaxAttempts:        *attempts,
 		CheckpointEvery:    *ckptEvery,
-		Logf:               logf,
+		Logger:             logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbed:", err)
@@ -104,18 +119,18 @@ func main() {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	logf("listening on %s (store %s)", ln.Addr(), *dir)
+	logger.Info("listening", "addr", ln.Addr().String(), "store", *dir)
 
 	select {
 	case <-ctx.Done():
-		logf("signal received, shutting down")
+		logger.Info("shutdown_signal")
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "mbed:", err)
 		os.Exit(1)
 	}
 	obs.ShutdownServer(httpSrv, obs.ShutdownTimeout)
 	if err := srv.Close(10 * time.Second); err != nil {
-		logf("%v", err)
+		logger.Error("close_error", "err", err)
 	}
-	logf("stopped; interrupted jobs resume on next start")
+	logger.Info("stopped", "note", "interrupted jobs resume on next start")
 }

@@ -1,0 +1,145 @@
+// Command mbeload is the load-test harness for the mbed daemon. It
+// drives N concurrent clients through the full job protocol — submit,
+// poll, stream results, verify the order-invariant digest — sweeping N
+// to find the saturation knee, and writes the latency/throughput/shed
+// rows to a provenance-stamped BENCH_server.json (the service analogue
+// of BENCH_parallel.json).
+//
+//	mbeload -addr http://127.0.0.1:8080 -levels 1,2,4,8 -json BENCH_server.json
+//	mbeload -self -dataset UL -levels 1,2 -jobs 4 -json out.json   # in-process daemon
+//	mbeload -check BENCH_server.json                               # schema gate only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8080", "base URL of a running mbed daemon")
+		self    = flag.Bool("self", false, "start an in-process daemon over a temp store instead of dialing -addr")
+		dataset = flag.String("dataset", "UL", "synthetic dataset to enumerate (see internal/datasets)")
+		levels  = flag.String("levels", "1,2,4,8", "comma-separated concurrency sweep")
+		jobs    = flag.Int("jobs", 8, "jobs per concurrency level")
+		jsonOut = flag.String("json", "", "write the sweep to this BENCH_server.json path")
+		check   = flag.String("check", "", "validate an existing BENCH_server.json and exit")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-job end-to-end budget")
+		seed    = flag.Int64("seed", 1, "base ordering seed (each job gets a distinct seed)")
+		workers = flag.Int("concurrency", 0, "-self daemon executor width (0 = 2)")
+		quiet   = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := harness.ValidateBenchServer(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "mbeload: check failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mbeload: %s ok\n", *check)
+		return
+	}
+
+	lv, err := harness.ParseLevels(*levels)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbeload:", err)
+		os.Exit(2)
+	}
+
+	baseURL := *addr
+	if *self {
+		url, stop, err := startSelfDaemon(*workers, *quiet)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbeload:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		baseURL = url
+	}
+
+	cfg := harness.LoadConfig{
+		BaseURL:      baseURL,
+		Dataset:      *dataset,
+		Levels:       lv,
+		JobsPerLevel: *jobs,
+		Timeout:      *timeout,
+		SeedBase:     *seed,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "mbeload: "+format+"\n", args...)
+		}
+	}
+
+	file, err := harness.RunLoad(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbeload:", err)
+		os.Exit(1)
+	}
+	for _, r := range file.Rows {
+		knee := ""
+		if r.SaturationKnee {
+			knee = "  <-- saturation knee"
+		}
+		fmt.Printf("c=%-3d ok=%-3d shed=%-3d err=%-3d p50=%8.1fms p95=%8.1fms p99=%8.1fms %7.2f jobs/s shed=%4.0f%%%s\n",
+			r.Concurrency, r.OK, r.Shed, r.Errors, r.P50MS, r.P95MS, r.P99MS,
+			r.ThroughputJPS, r.ShedRate*100, knee)
+	}
+	if *jsonOut != "" {
+		if err := harness.WriteBenchServer(file, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mbeload:", err)
+			os.Exit(1)
+		}
+		if err := harness.ValidateBenchServer(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mbeload: self-check failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mbeload: wrote %s (%d rows)\n", *jsonOut, len(file.Rows))
+	}
+}
+
+// startSelfDaemon boots an mbed server over a throwaway store on a
+// loopback port, so CI and quick local sweeps need no external process.
+func startSelfDaemon(workers int, quiet bool) (baseURL string, stop func(), err error) {
+	dir, err := os.MkdirTemp("", "mbeload-store-*")
+	if err != nil {
+		return "", nil, err
+	}
+	level := slog.LevelWarn // daemon chatter would drown the sweep output
+	if quiet {
+		level = slog.LevelError
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	srv, err := server.New(server.Config{
+		Dir:         dir,
+		Concurrency: workers,
+		Logger:      logger,
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close(time.Second)
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	stop = func() {
+		obs.ShutdownServer(httpSrv, obs.ShutdownTimeout)
+		srv.Close(5 * time.Second)
+		os.RemoveAll(dir)
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}

@@ -1,0 +1,428 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	mbe "repro"
+)
+
+// traceHeader mirrors server.TraceHeader without importing the server
+// package: mbeload is a client and speaks only the wire contract.
+const traceHeader = "X-MBE-Trace"
+
+// LoadConfig parameterizes one mbeload sweep against a running daemon.
+type LoadConfig struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Dataset names the synthetic graph submitted once before the sweep
+	// (POST /v1/graphs?dataset=...). Empty means "UL".
+	Dataset string
+	// Levels is the concurrency sweep, e.g. [1, 2, 4, 8]. Each level runs
+	// JobsPerLevel jobs with that many concurrent clients.
+	Levels []int
+	// JobsPerLevel is how many jobs each level submits; 0 = 8.
+	JobsPerLevel int
+	// Timeout bounds one job end-to-end (submit, poll, stream, verify);
+	// 0 = 120s.
+	Timeout time.Duration
+	// SeedBase offsets the per-job ordering seeds. Every job gets a
+	// distinct seed with ordering "rand" so the daemon's result cache
+	// (keyed by graph|ordering|seed) cannot serve it — a load test that
+	// measures cache lookups would find no knee.
+	SeedBase int64
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c LoadConfig) dataset() string { return strOr(c.Dataset, "UL") }
+func (c LoadConfig) jobs() int {
+	if c.JobsPerLevel <= 0 {
+		return 8
+	}
+	return c.JobsPerLevel
+}
+func (c LoadConfig) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 120 * time.Second
+	}
+	return c.Timeout
+}
+func (c LoadConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+func strOr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// LoadRow is one concurrency level of the sweep: client-observed latency
+// quantiles over verified jobs, goodput, and the shed rate.
+type LoadRow struct {
+	Concurrency int `json:"concurrency"`
+	// Jobs = OK + Shed + Errors. OK jobs completed AND their streamed
+	// results digest-matched the server's recorded digest; Shed jobs were
+	// rejected 429 at submit; Errors is everything else (timeouts, digest
+	// mismatches, transport failures).
+	Jobs   int `json:"jobs"`
+	OK     int `json:"ok"`
+	Shed   int `json:"shed"`
+	Errors int `json:"errors"`
+	// P50MS/P95MS/P99MS are end-to-end latency quantiles (submit through
+	// digest verification) over OK jobs, milliseconds.
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// ThroughputJPS is verified jobs per wall second for the level.
+	ThroughputJPS float64 `json:"throughput_jobs_per_sec"`
+	// ShedRate is Shed/Jobs.
+	ShedRate float64 `json:"shed_rate"`
+	// SaturationKnee marks the first level where adding clients stopped
+	// paying: marginal throughput below +10% over the previous level, or
+	// admission control began shedding.
+	SaturationKnee bool `json:"saturation_knee,omitempty"`
+}
+
+// BenchServerFile is the BENCH_server.json schema: provenance-stamped
+// like BENCH_parallel.json, one row per swept concurrency level.
+type BenchServerFile struct {
+	// Tool identifies the producer ("mbeload").
+	Tool string `json:"tool"`
+	Provenance
+	Dataset string    `json:"dataset"`
+	GraphID string    `json:"graph_id"`
+	Rows    []LoadRow `json:"rows"`
+}
+
+// jobOutcome is one client's end-to-end result.
+type jobOutcome struct {
+	latencyMS float64
+	shed      bool
+	err       error
+}
+
+// RunLoad drives the sweep: submit the dataset graph once, then for each
+// level run JobsPerLevel jobs with Concurrency concurrent clients, each
+// doing submit → poll → stream → digest-verify. The knee is marked on
+// the returned rows.
+func RunLoad(cfg LoadConfig) (BenchServerFile, error) {
+	client := &http.Client{} // per-job budgets, not a global socket timeout
+	file := BenchServerFile{
+		Tool:       "mbeload",
+		Provenance: CollectProvenance(),
+		Dataset:    cfg.dataset(),
+	}
+
+	graphID, err := submitDataset(client, cfg.BaseURL, cfg.dataset())
+	if err != nil {
+		return file, err
+	}
+	file.GraphID = graphID
+	cfg.logf("graph %s submitted as %s", cfg.dataset(), graphID)
+
+	var seedCounter atomic.Int64
+	seedCounter.Store(cfg.SeedBase)
+	for _, c := range cfg.Levels {
+		if c <= 0 {
+			return file, fmt.Errorf("harness: concurrency level %d must be positive", c)
+		}
+		row := runLevel(client, cfg, graphID, c, &seedCounter)
+		file.Rows = append(file.Rows, row)
+		cfg.logf("c=%d: ok=%d shed=%d err=%d p50=%.1fms p99=%.1fms %.2f jobs/s",
+			c, row.OK, row.Shed, row.Errors, row.P50MS, row.P99MS, row.ThroughputJPS)
+	}
+	markKnee(file.Rows)
+	return file, nil
+}
+
+// runLevel runs one concurrency level and reduces it to a row.
+func runLevel(client *http.Client, cfg LoadConfig, graphID string, conc int, seeds *atomic.Int64) LoadRow {
+	n := cfg.jobs()
+	outcomes := make([]jobOutcome, n)
+	var idx atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(idx.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				seed := seeds.Add(1)
+				outcomes[i] = runOneJob(client, cfg, graphID, conc, seed)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	row := LoadRow{Concurrency: conc, Jobs: n}
+	var lats []float64
+	for _, o := range outcomes {
+		switch {
+		case o.err != nil:
+			row.Errors++
+		case o.shed:
+			row.Shed++
+		default:
+			row.OK++
+			lats = append(lats, o.latencyMS)
+		}
+	}
+	sort.Float64s(lats)
+	row.P50MS = quantileSorted(lats, 0.50)
+	row.P95MS = quantileSorted(lats, 0.95)
+	row.P99MS = quantileSorted(lats, 0.99)
+	if wall > 0 {
+		row.ThroughputJPS = float64(row.OK) / wall.Seconds()
+	}
+	row.ShedRate = float64(row.Shed) / float64(n)
+	return row
+}
+
+// runOneJob is one client's full protocol round trip. The latency clock
+// covers everything a caller would wait for: submit, queue, enumeration,
+// result streaming and digest verification.
+func runOneJob(client *http.Client, cfg LoadConfig, graphID string, conc int, seed int64) jobOutcome {
+	deadline := time.Now().Add(cfg.timeout())
+	start := time.Now()
+	trace := fmt.Sprintf("load-c%d-s%d", conc, seed)
+
+	spec := map[string]any{"graph_id": graphID, "ordering": "rand", "seed": seed}
+	body, _ := json.Marshal(spec)
+	req, err := http.NewRequest("POST", cfg.BaseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return jobOutcome{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(traceHeader, trace)
+	resp, err := client.Do(req)
+	if err != nil {
+		return jobOutcome{err: err}
+	}
+	if got := resp.Header.Get(traceHeader); got != trace {
+		resp.Body.Close()
+		return jobOutcome{err: fmt.Errorf("trace not echoed: got %q want %q", got, trace)}
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		resp.Body.Close()
+		return jobOutcome{shed: true}
+	}
+	var m struct {
+		JobID string `json:"job_id"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil || m.JobID == "" {
+		return jobOutcome{err: fmt.Errorf("submit: status %d: %s (%v)", resp.StatusCode, m.Error, err)}
+	}
+
+	// Poll to terminal state.
+	var status struct {
+		State  string `json:"state"`
+		Error  string `json:"error"`
+		Result *struct {
+			Count  int64  `json:"count"`
+			Digest string `json:"digest"`
+		} `json:"result"`
+	}
+	for {
+		if !time.Now().Before(deadline) {
+			return jobOutcome{err: fmt.Errorf("job %s: timed out in state %q", m.JobID, status.State)}
+		}
+		r, err := client.Get(cfg.BaseURL + "/v1/jobs/" + m.JobID)
+		if err != nil {
+			return jobOutcome{err: err}
+		}
+		err = json.NewDecoder(r.Body).Decode(&status)
+		r.Body.Close()
+		if err != nil {
+			return jobOutcome{err: err}
+		}
+		if status.State == "done" || status.State == "failed" || status.State == "canceled" {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if status.State != "done" || status.Result == nil {
+		return jobOutcome{err: fmt.Errorf("job %s: %s: %s", m.JobID, status.State, status.Error)}
+	}
+
+	// Stream the NDJSON results and verify the order-invariant digest
+	// against the server's — the load test doubles as a correctness test.
+	r, err := client.Get(cfg.BaseURL + "/v1/jobs/" + m.JobID + "/results")
+	if err != nil {
+		return jobOutcome{err: err}
+	}
+	defer r.Body.Close()
+	var d mbe.Digest
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var rec struct {
+			L []int32 `json:"l"`
+			R []int32 `json:"r"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return jobOutcome{err: fmt.Errorf("job %s: results: %w", m.JobID, err)}
+		}
+		d.Observe(rec.L, rec.R)
+	}
+	if err := sc.Err(); err != nil {
+		return jobOutcome{err: fmt.Errorf("job %s: results stream: %w", m.JobID, err)}
+	}
+	if got := d.String(); got != status.Result.Digest {
+		return jobOutcome{err: fmt.Errorf("job %s: digest mismatch: streamed %s, server recorded %s",
+			m.JobID, got, status.Result.Digest)}
+	}
+	return jobOutcome{latencyMS: float64(time.Since(start).Microseconds()) / 1e3}
+}
+
+// submitDataset stores the named synthetic dataset and returns its id.
+func submitDataset(client *http.Client, baseURL, dataset string) (string, error) {
+	resp, err := client.Post(baseURL+"/v1/graphs?dataset="+dataset, "application/octet-stream", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		GraphID string `json:"graph_id"`
+		Error   string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", fmt.Errorf("harness: graph submit: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK || out.GraphID == "" {
+		return "", fmt.Errorf("harness: graph submit: status %d: %s", resp.StatusCode, out.Error)
+	}
+	return out.GraphID, nil
+}
+
+// quantileSorted is the nearest-rank quantile over an ascending slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// markKnee flags the first level where concurrency stopped paying.
+func markKnee(rows []LoadRow) {
+	for i := range rows {
+		if rows[i].Shed > 0 {
+			rows[i].SaturationKnee = true
+			return
+		}
+		if i > 0 && rows[i].ThroughputJPS < rows[i-1].ThroughputJPS*1.10 {
+			rows[i].SaturationKnee = true
+			return
+		}
+	}
+}
+
+// WriteBenchServer writes the sweep to path as indented JSON.
+func WriteBenchServer(file BenchServerFile, path string) error {
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ValidateBenchServer is the CI schema gate over a BENCH_server.json:
+// it checks the invariants a well-formed sweep cannot violate, so a
+// refactor that silently breaks mbeload fails the build instead of
+// committing an empty or inconsistent benchmark file.
+func ValidateBenchServer(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f BenchServerFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Tool != "mbeload" {
+		return fmt.Errorf("%s: tool = %q, want \"mbeload\"", path, f.Tool)
+	}
+	if f.GoVersion == "" || f.TimestampUTC == "" {
+		return fmt.Errorf("%s: provenance incomplete (go_version=%q timestamp_utc=%q)",
+			path, f.GoVersion, f.TimestampUTC)
+	}
+	if f.Dataset == "" || f.GraphID == "" {
+		return fmt.Errorf("%s: dataset/graph_id missing", path)
+	}
+	if len(f.Rows) == 0 {
+		return fmt.Errorf("%s: no rows", path)
+	}
+	for i, r := range f.Rows {
+		if r.Concurrency <= 0 {
+			return fmt.Errorf("%s: row %d: concurrency %d", path, i, r.Concurrency)
+		}
+		if r.Jobs <= 0 || r.OK+r.Shed+r.Errors != r.Jobs {
+			return fmt.Errorf("%s: row %d: ok(%d)+shed(%d)+errors(%d) != jobs(%d)",
+				path, i, r.OK, r.Shed, r.Errors, r.Jobs)
+		}
+		if r.P50MS > r.P95MS || r.P95MS > r.P99MS {
+			return fmt.Errorf("%s: row %d: quantiles not monotone (p50=%g p95=%g p99=%g)",
+				path, i, r.P50MS, r.P95MS, r.P99MS)
+		}
+		if r.OK > 0 && r.P50MS <= 0 {
+			return fmt.Errorf("%s: row %d: %d ok jobs but p50 = %g", path, i, r.OK, r.P50MS)
+		}
+		if r.ShedRate < 0 || r.ShedRate > 1 {
+			return fmt.Errorf("%s: row %d: shed_rate %g out of [0,1]", path, i, r.ShedRate)
+		}
+	}
+	return nil
+}
+
+// ParseLevels parses a "1,2,4,8" concurrency sweep spec.
+func ParseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("harness: bad concurrency level %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("harness: empty level sweep")
+	}
+	return out, nil
+}

@@ -67,12 +67,19 @@ func progressHandler(w http.ResponseWriter, _ *http.Request) {
 
 // DebugMux returns the /debug handler tree:
 //
+//	/metrics          — Default registry, Prometheus text exposition
 //	/debug/progress   — live Snapshot of the published run (JSON)
 //	/debug/vars       — expvar (includes mbe.progress)
 //	/debug/pprof/...  — net/http/pprof (profile, heap, trace, ...)
+//
+// The mux is freshly built per call and the expvar side is Once-guarded,
+// so tearing a debug server down (SIGTERM) and relaunching it never
+// hits a duplicate-registration panic — the restart-idempotency
+// contract TestDebugServerRestartIdempotent pins.
 func DebugMux() *http.ServeMux {
 	publishExpvar()
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", Default.Handler())
 	mux.HandleFunc("/debug/progress", progressHandler)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

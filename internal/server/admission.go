@@ -14,6 +14,10 @@ import (
 type OverCapacityError struct {
 	Reason     string
 	RetryAfter time.Duration
+	// Kind is the stable metric/log label of the gate that shed the
+	// request: "rate_limit", "queue_full" or "mem_budget" (Reason is
+	// the human-readable elaboration).
+	Kind string
 }
 
 func (e *OverCapacityError) Error() string {
@@ -103,17 +107,22 @@ const retryAfterQueue = time.Second
 // the same charge (when the job reaches a terminal state).
 func (a *admission) admit(memCharge int64) error {
 	if ok, wait := a.bucket.take(); !ok {
-		return &OverCapacityError{Reason: "rate limit", RetryAfter: wait}
+		return &OverCapacityError{Reason: "rate limit", RetryAfter: wait, Kind: "rate_limit"}
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.active >= a.maxJobs {
-		return &OverCapacityError{Reason: fmt.Sprintf("job queue full (%d)", a.maxJobs), RetryAfter: retryAfterQueue}
+		return &OverCapacityError{
+			Reason:     fmt.Sprintf("job queue full (%d)", a.maxJobs),
+			RetryAfter: retryAfterQueue,
+			Kind:       "queue_full",
+		}
 	}
 	if a.memBudget > 0 && a.mem+memCharge > a.memBudget {
 		return &OverCapacityError{
 			Reason:     fmt.Sprintf("memory budget exhausted (%d of %d bytes committed)", a.mem, a.memBudget),
 			RetryAfter: retryAfterQueue,
+			Kind:       "mem_budget",
 		}
 	}
 	a.active++

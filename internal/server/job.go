@@ -129,6 +129,10 @@ type Manifest struct {
 	Spec     JobSpec  `json:"spec"`
 	State    JobState `json:"state"`
 	CacheKey string   `json:"cache_key"`
+	// TraceID is the job's correlation id (client-supplied X-MBE-Trace
+	// or daemon-minted at submit). Persisting it here is what makes a
+	// trace survive kill -9: recovery re-logs the job under the same id.
+	TraceID string `json:"trace_id,omitempty"`
 	// Attempts counts started attempts; Error preserves the terminal
 	// (or most recent retryable) failure.
 	Attempts int    `json:"attempts,omitempty"`
@@ -150,6 +154,22 @@ type job struct {
 	rec      *obs.Recorder // live progress while an attempt runs
 	canceled bool          // user asked; checked between attempts
 	deadline time.Time     // absolute wall deadline, set at first attempt
+	// enqueuedAt is when the job entered the executor queue (submit, or
+	// restart recovery) — the queue-wait histogram's start mark. Kept in
+	// memory: recovered jobs measure their wait from re-enqueue, which
+	// is the wait the restarted daemon is accountable for.
+	enqueuedAt time.Time
+	// stateSince stamps the last state transition so each transition
+	// event can report how long the job spent in the state it left.
+	stateSince time.Time
+}
+
+// msSince reports elapsed milliseconds since t, 0 for a zero time.
+func msSince(t time.Time) float64 {
+	if t.IsZero() {
+		return 0
+	}
+	return float64(time.Since(t).Microseconds()) / 1e3
 }
 
 // manifest returns a copy of the job's manifest under the lock.

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"repro/internal/obs"
+)
+
+// serverMetrics is the daemon's aggregate telemetry, served as
+// Prometheus text at GET /metrics. One instance per Server (tests run
+// many servers per process; a process-global registry would alias
+// them), registered on its own obs.Registry.
+//
+// The family layout (names are the public contract, documented in
+// docs/OBSERVABILITY.md "Service telemetry"):
+//
+//	mbed_http_requests_total{route,code}  counter
+//	mbed_http_request_seconds{route}      histogram (DefLatencyBuckets)
+//	mbed_jobs_submitted_total             counter
+//	mbed_jobs_completed_total{state}      counter (done|failed|canceled)
+//	mbed_job_queue_wait_seconds           histogram
+//	mbed_job_run_seconds                  histogram (per attempt)
+//	mbed_job_retries_total                counter
+//	mbed_parallelism_sheds_total          counter (memory-budget thread halvings)
+//	mbed_admission_shed_total{reason}     counter (rate_limit|queue_full|mem_budget)
+//	mbed_jobs_recovered_total             counter (restart re-enqueues)
+//	mbed_cache_hits_total                 counter (result-cache serves)
+//	mbed_cache_misses_total               counter (submits that enumerate)
+//	mbed_spool_bytes_total                counter (bytes flushed to job spools)
+//	mbed_jobs_active                      gauge  (queued+running+retrying)
+//	mbed_mem_committed_bytes              gauge  (admission memory charges)
+type serverMetrics struct {
+	reg *obs.Registry
+
+	httpRequests *obs.CounterVec
+	httpLatency  *obs.HistogramVec
+
+	jobsSubmitted *obs.Counter
+	jobsCompleted *obs.CounterVec
+	queueWait     *obs.Histogram
+	runSeconds    *obs.Histogram
+	retries       *obs.Counter
+	memSheds      *obs.Counter
+	sheds         *obs.CounterVec
+	recovered     *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	spoolBytes    *obs.Counter
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := obs.NewRegistry()
+	return &serverMetrics{
+		reg: reg,
+		httpRequests: reg.NewCounterVec("mbed_http_requests_total",
+			"HTTP requests served, by route pattern and status code.", "route", "code"),
+		httpLatency: reg.NewHistogramVec("mbed_http_request_seconds",
+			"HTTP request latency in seconds, by route pattern.", nil, "route"),
+		jobsSubmitted: reg.NewCounter("mbed_jobs_submitted_total",
+			"Enumeration jobs admitted past admission control."),
+		jobsCompleted: reg.NewCounterVec("mbed_jobs_completed_total",
+			"Jobs reaching a terminal state, by state.", "state"),
+		queueWait: reg.NewHistogram("mbed_job_queue_wait_seconds",
+			"Seconds between job admission and its first executor pickup.", nil),
+		runSeconds: reg.NewHistogram("mbed_job_run_seconds",
+			"Enumeration wall seconds per job attempt.", nil),
+		retries: reg.NewCounter("mbed_job_retries_total",
+			"Retryable attempt failures that consumed retry budget."),
+		memSheds: reg.NewCounter("mbed_parallelism_sheds_total",
+			"Memory-budget trips that halved a job's thread count."),
+		sheds: reg.NewCounterVec("mbed_admission_shed_total",
+			"Submits shed with 429, by admission gate.", "reason"),
+		recovered: reg.NewCounter("mbed_jobs_recovered_total",
+			"Interrupted jobs re-enqueued by restart recovery."),
+		cacheHits: reg.NewCounter("mbed_cache_hits_total",
+			"Job submits served from the digest-keyed result cache."),
+		cacheMisses: reg.NewCounter("mbed_cache_misses_total",
+			"Job submits that had to enumerate (no cache entry)."),
+		spoolBytes: reg.NewCounter("mbed_spool_bytes_total",
+			"Bytes flushed to job spool shards across all attempts."),
+	}
+}
+
+// bindAdmission registers the scrape-time gauges that read the
+// admission ledger directly — no mirrored state to drift.
+func (m *serverMetrics) bindAdmission(adm *admission) {
+	m.reg.NewGaugeFunc("mbed_jobs_active",
+		"Jobs currently queued, running or retrying.", func() int64 {
+			active, _ := adm.load()
+			return int64(active)
+		})
+	m.reg.NewGaugeFunc("mbed_mem_committed_bytes",
+		"Sum of admitted jobs' engine-memory charges in bytes.", func() int64 {
+			_, mem := adm.load()
+			return mem
+		})
+}
+
+// Metrics exposes the server's registry (the /metrics handler source);
+// tests reach through it to reconcile counters against observed work.
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	mbe "repro"
@@ -46,8 +47,13 @@ func (s *Server) runJob(j *job) {
 		j.m.State = JobCanceled
 		j.m.Error = errJobCanceled.Error()
 		m := j.m
+		waitedMS := msSince(j.enqueuedAt)
 		j.mu.Unlock()
 		s.persist(m)
+		s.met.jobsCompleted.With(string(JobCanceled)).Inc()
+		s.log.Info("job_canceled",
+			"trace_id", m.TraceID, "job_id", m.ID, "from_state", string(JobQueued),
+			"queue_wait_ms", waitedMS)
 		s.finalize(j)
 		return
 	}
@@ -58,6 +64,14 @@ func (s *Server) runJob(j *job) {
 			d = s.cfg.defaultDeadline()
 		}
 		j.deadline = time.Now().Add(d)
+	}
+	// First executor pickup ends the queue wait (recovered jobs measure
+	// from re-enqueue); clear the mark so a retry loop does not re-count.
+	if !j.enqueuedAt.IsZero() {
+		wait := time.Since(j.enqueuedAt)
+		j.enqueuedAt = time.Time{}
+		j.stateSince = time.Now()
+		s.met.queueWait.Observe(wait.Seconds())
 	}
 	j.mu.Unlock()
 
@@ -84,7 +98,9 @@ func (s *Server) runJob(j *job) {
 		// mid-backoff): do NOT write a terminal state. The on-disk
 		// manifest still says running/retrying, which is exactly what
 		// restart recovery looks for.
-		s.logf("job %s: interrupted by shutdown, will resume on restart", j.m.ID)
+		s.log.Info("job_interrupted_by_shutdown",
+			"trace_id", j.m.TraceID, "job_id", j.m.ID, "state", string(j.state()),
+			"will_resume", true)
 		return
 	case errors.Is(err, errJobCanceled):
 		s.transition(j, JobCanceled, err)
@@ -115,8 +131,11 @@ func (s *Server) attempt(jobCtx context.Context, j *job, g *mbe.Graph, try int) 
 		memBudget = s.cfg.defaultJobMem()
 	}
 	spec := j.m.Spec
+	prevState := j.m.State
+	prevSince := j.stateSince
 	j.m.State = JobRunning
 	j.m.Attempts = try + 1
+	j.stateSince = time.Now()
 	m := j.m
 	j.mu.Unlock()
 
@@ -124,6 +143,10 @@ func (s *Server) attempt(jobCtx context.Context, j *job, g *mbe.Graph, try int) 
 		return mbe.Result{}, Permanent(fmt.Errorf("%w (budget spent across %d attempts)", errJobDeadline, try))
 	}
 	s.persist(m)
+	s.log.Info("attempt_start",
+		"trace_id", m.TraceID, "job_id", m.ID, "attempt", m.Attempts,
+		"threads", threads, "from_state", string(prevState),
+		"ms_in_state", msSince(prevSince))
 
 	// Server-side fault hook (internal/faultinject): lets tests inject
 	// deterministic attempt failures without touching the engines.
@@ -168,7 +191,9 @@ func (s *Server) attempt(jobCtx context.Context, j *job, g *mbe.Graph, try int) 
 		// failed attempt had half-written).
 		Resume:     spool.IsSpool(spoolDir),
 		Checkpoint: mbe.CheckpointOptions{Every: s.cfg.CheckpointEvery},
-		OnWarning:  func(e error) { s.logf("job %s: %v", j.m.ID, e) },
+		OnWarning: func(e error) {
+			s.log.Warn("job_warning", "trace_id", m.TraceID, "job_id", m.ID, "err", e)
+		},
 	}
 
 	// Panic isolation: the engines already recover worker panics into
@@ -184,6 +209,15 @@ func (s *Server) attempt(jobCtx context.Context, j *job, g *mbe.Graph, try int) 
 		}()
 		res, err = mbe.Enumerate(g, opts)
 	}()
+
+	// Per-attempt telemetry regardless of outcome: wall time in the run
+	// histogram, and whatever this attempt flushed to the spool (the
+	// recorder's spool stats are per checkpoint session, so summing per
+	// attempt stays correct across resumes).
+	s.met.runSeconds.Observe(res.Elapsed.Seconds())
+	if snap := rec.Snapshot(); snap.SpoolBytes > 0 {
+		s.met.spoolBytes.Add(snap.SpoolBytes)
+	}
 
 	if err != nil {
 		// Spool I/O errors, worker panics (mbe.ErrPanic), injected
@@ -208,6 +242,10 @@ func (s *Server) attempt(jobCtx context.Context, j *job, g *mbe.Graph, try int) 
 			j.mu.Lock()
 			j.m.EffectiveThreads = reduced
 			j.mu.Unlock()
+			s.met.memSheds.Inc()
+			s.log.Warn("parallelism_shed",
+				"trace_id", m.TraceID, "job_id", m.ID, "attempt", m.Attempts,
+				"threads", threads, "reduced_to", reduced)
 			return res, s.classifyRetryable(j,
 				fmt.Errorf("memory budget exceeded at %d threads, retrying at %d", threads, reduced))
 		}
@@ -223,9 +261,15 @@ func (s *Server) classifyRetryable(j *job, err error) error {
 	j.mu.Lock()
 	j.m.State = JobRetrying
 	j.m.Error = err.Error()
+	msRunning := msSince(j.stateSince)
+	j.stateSince = time.Now()
 	m := j.m
 	j.mu.Unlock()
 	s.persist(m)
+	s.met.retries.Inc()
+	s.log.Warn("job_retrying",
+		"trace_id", m.TraceID, "job_id", m.ID, "attempt", m.Attempts,
+		"ms_in_state", msRunning, "err", err)
 	return err
 }
 
@@ -249,6 +293,7 @@ func (s *Server) complete(j *job, elapsed time.Duration) {
 		Digest:    d.String(),
 		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
 	}
+	msRunning := msSince(j.stateSince)
 	m := j.m
 	j.mu.Unlock()
 	s.persist(m)
@@ -256,24 +301,41 @@ func (s *Server) complete(j *job, elapsed time.Duration) {
 	s.cache[m.CacheKey] = m.ID
 	s.cacheMu.Unlock()
 	s.finalize(j)
-	s.logf("job %s: done (%d bicliques)", m.ID, d.Count)
+	s.met.jobsCompleted.With(string(JobDone)).Inc()
+	s.log.Info("job_done",
+		"trace_id", m.TraceID, "job_id", m.ID, "bicliques", d.Count,
+		"attempts", m.Attempts, "elapsed_ms", m.Result.ElapsedMS,
+		"ms_in_state", msRunning)
 }
 
 // fail transitions the job to its terminal failed state, error kept.
 func (s *Server) fail(j *job, err error) {
 	s.transition(j, JobFailed, err)
-	s.logf("job %s: failed: %v", j.m.ID, err)
 }
 
+// transition moves the job to a terminal state, persisting the manifest
+// and emitting the terminal metric + structured event in one place.
 func (s *Server) transition(j *job, to JobState, err error) {
 	j.mu.Lock()
+	from := j.m.State
 	j.m.State = to
 	if err != nil {
 		j.m.Error = err.Error()
 	}
+	msInState := msSince(j.stateSince)
 	m := j.m
 	j.mu.Unlock()
 	s.persist(m)
+	if to.Terminal() {
+		s.met.jobsCompleted.With(string(to)).Inc()
+	}
+	ev, level := "job_"+string(to), slog.LevelInfo
+	if to == JobFailed {
+		level = slog.LevelError
+	}
+	s.log.Log(context.Background(), level, ev,
+		"trace_id", m.TraceID, "job_id", m.ID, "from_state", string(from),
+		"attempts", m.Attempts, "ms_in_state", msInState, "err", m.Error)
 }
 
 // finalize releases the job's admission charge exactly once.
@@ -293,6 +355,7 @@ func (s *Server) finalize(j *job) {
 // degrades to the previous manifest.
 func (s *Server) persist(m Manifest) {
 	if err := s.store.WriteManifest(m); err != nil {
-		s.logf("job %s: manifest write failed: %v", m.ID, err)
+		s.log.Error("manifest_write_failed",
+			"trace_id", m.TraceID, "job_id", m.ID, "err", err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
@@ -55,7 +56,13 @@ type Config struct {
 	// CheckpointEvery is each job's checkpoint cadence; 0 = the ckpt
 	// default (10s). Tests shrink it so kill -9 has something to find.
 	CheckpointEvery time.Duration
-	// Logf, if non-nil, receives operational log lines.
+	// Logger receives the daemon's structured operational events (one
+	// slog record per job state transition, admission decision, shed,
+	// recovery action — each carrying trace_id and job_id). cmd/mbed
+	// selects a text or JSON handler via -log-format.
+	Logger *slog.Logger
+	// Logf is the legacy printf-style sink; when Logger is nil it is
+	// adapted into one (tests pass t.Logf). Nil both = silent.
 	Logf func(format string, args ...any)
 	// FaultHook is the server-side fault-injection seam (see
 	// internal/faultinject): called at named sites ("server/attempt");
@@ -98,6 +105,8 @@ type Server struct {
 	cfg   cfgResolved
 	store *Store
 	adm   *admission
+	met   *serverMetrics
+	log   *slog.Logger
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -132,6 +141,8 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		store:   store,
+		met:     newServerMetrics(),
+		log:     cfg.logger(),
 		jobs:    make(map[string]*job),
 		cache:   make(map[string]string),
 		started: time.Now(),
@@ -139,14 +150,15 @@ func New(cfg Config) (*Server, error) {
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 
 	manifests, err := store.Scan(func(id string, err error) {
-		s.logf("recovery: skipping uncommitted job dir %s: %v", id, err)
+		s.log.Warn("recovery_skip_uncommitted", "job_id", id, "err", err)
 	})
 	if err != nil {
 		return nil, err
 	}
+	now := time.Now()
 	var resume []*job
 	for _, m := range manifests {
-		j := &job{m: m}
+		j := &job{m: m, enqueuedAt: now, stateSince: now}
 		s.jobs[m.ID] = j
 		switch m.State {
 		case JobDone:
@@ -165,6 +177,7 @@ func New(cfg Config) (*Server, error) {
 		maxJobs = 64
 	}
 	s.adm = newAdmission(cfg.RatePerSec, cfg.Burst, maxJobs, cfg.MemBudgetBytes)
+	s.met.bindAdmission(s.adm)
 	// Recovered jobs were admitted before the crash: re-charge them
 	// without consulting the rate limiter, and size the queue so they
 	// always fit alongside a full admission window.
@@ -176,10 +189,16 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.adm.adopt(charge)
 		s.queue <- j
-		s.logf("recovery: re-enqueued job %s (state %s, attempt %d)", j.m.ID, j.m.State, j.m.Attempts)
+		s.met.recovered.Inc()
+		// Same trace_id as before the crash — the manifest carried it
+		// through, so the trace is continuous across kill -9.
+		s.log.Info("job_recovered",
+			"trace_id", j.m.TraceID, "job_id", j.m.ID,
+			"state", string(j.m.State), "attempt", j.m.Attempts)
 	}
 	if n := len(manifests); n > 0 {
-		s.logf("recovery: %d jobs scanned, %d resumed, %d cached results", n, len(resume), len(s.cache))
+		s.log.Info("recovery_done",
+			"jobs_scanned", n, "jobs_resumed", len(resume), "cached_results", len(s.cache))
 	}
 
 	for i := 0; i < cfg.concurrency(); i++ {
@@ -205,12 +224,6 @@ func (s *Server) Close(timeout time.Duration) error {
 	}
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
-}
-
 // Handler returns the daemon's HTTP surface:
 //
 //	POST   /v1/graphs              submit a graph (KONECT body, binary
@@ -222,10 +235,15 @@ func (s *Server) logf(format string, args ...any) {
 //	GET    /v1/jobs/{id}/results   stream bicliques as NDJSON
 //	POST   /v1/jobs/{id}/cancel    cancel (DELETE /v1/jobs/{id} works too)
 //	GET    /healthz                liveness + load
+//	GET    /metrics                Prometheus text exposition
 //	GET    /debug/...              progress/expvar/pprof (internal/obs)
 //
 // Only the two POST submit endpoints pass through admission control;
-// every read keeps working while submits are being shed.
+// every read keeps working while submits are being shed. Every route is
+// wrapped by the instrument middleware: the response carries the
+// request's X-MBE-Trace id (client-supplied or minted) and the request
+// is counted into the per-route latency histograms — including 429
+// sheds and streamed NDJSON bodies.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleSubmitGraph)
@@ -236,8 +254,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancelJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.met.reg.Handler())
 	mux.Handle("/debug/", obs.DebugMux())
-	return mux
+	return s.instrument(mux)
 }
 
 // --- HTTP plumbing ---------------------------------------------------
@@ -260,12 +279,19 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 }
 
 // shed writes the 429 + Retry-After response for an admission miss.
-func shed(w http.ResponseWriter, oc *OverCapacityError) {
+// The trace id rides the Retry-After log line (and the response header,
+// via the instrument middleware), so an overload incident is
+// attributable per client after the fact.
+func (s *Server) shed(w http.ResponseWriter, r *http.Request, oc *OverCapacityError) {
 	secs := int64(math.Ceil(oc.RetryAfter.Seconds()))
 	if secs < 1 {
 		secs = 1
 	}
 	w.Header().Set("Retry-After", fmt.Sprint(secs))
+	s.met.sheds.With(oc.Kind).Inc()
+	s.log.Warn("job_shed",
+		"trace_id", traceFrom(r.Context()), "reason", oc.Kind,
+		"retry_after_s", secs, "detail", oc.Reason)
 	writeJSON(w, http.StatusTooManyRequests, errorBody{
 		Error:        oc.Error(),
 		RetryAfterMS: oc.RetryAfter.Milliseconds(),
@@ -278,7 +304,7 @@ func (s *Server) handleSubmitGraph(w http.ResponseWriter, r *http.Request) {
 	// Graph parsing/storing is submit-side work: rate-limit it with the
 	// same bucket as job submission (but it holds no job slot).
 	if ok, wait := s.adm.bucket.take(); !ok {
-		shed(w, &OverCapacityError{Reason: "rate limit", RetryAfter: wait})
+		s.shed(w, r, &OverCapacityError{Reason: "rate limit", RetryAfter: wait, Kind: "rate_limit"})
 		return
 	}
 	var g *mbe.Graph
@@ -342,6 +368,9 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if hit {
 		if j := s.lookup(hitID); j != nil {
 			m := j.manifest()
+			s.met.cacheHits.Inc()
+			s.log.Info("job_cache_hit",
+				"trace_id", traceFrom(r.Context()), "job_id", m.ID, "cache_key", m.CacheKey)
 			writeJSON(w, http.StatusOK, map[string]any{
 				"job_id": m.ID, "state": m.State, "cache_hit": true, "result": m.Result,
 			})
@@ -356,22 +385,29 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if err := s.adm.admit(charge); err != nil {
 		var oc *OverCapacityError
 		if errors.As(err, &oc) {
-			shed(w, oc)
+			s.shed(w, r, oc)
 			return
 		}
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	m, err := s.store.CreateJob(spec)
+	m, err := s.store.CreateJob(spec, traceFrom(r.Context()))
 	if err != nil {
 		s.adm.release(charge)
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	j := &job{m: m}
+	now := time.Now()
+	j := &job{m: m, enqueuedAt: now, stateSince: now}
 	s.jobsMu.Lock()
 	s.jobs[m.ID] = j
 	s.jobsMu.Unlock()
+	s.met.cacheMisses.Inc()
+	s.met.jobsSubmitted.Inc()
+	// The admission decision is the first transition of the job's trace.
+	s.log.Info("job_admitted",
+		"trace_id", m.TraceID, "job_id", m.ID, "graph_id", spec.GraphID,
+		"algorithm", spec.Algorithm, "threads", spec.Threads, "mem_charge", charge)
 	s.queue <- j // capacity ≥ MaxJobs, admission makes this non-blocking
 	writeJSON(w, http.StatusAccepted, map[string]any{"job_id": m.ID, "state": m.State})
 }
@@ -457,7 +493,8 @@ func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
 	if err != nil && !partial {
 		// A done job must replay cleanly; a torn tail mid-stream can
 		// only be signaled by cutting the response short.
-		s.logf("job %s: result stream: %v", m.ID, err)
+		s.log.Error("result_stream_error",
+			"trace_id", m.TraceID, "job_id", m.ID, "err", err)
 	}
 }
 
@@ -469,6 +506,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	}
 	j.mu.Lock()
 	state := j.m.State
+	tid := j.m.TraceID
 	if !state.Terminal() {
 		j.canceled = true
 		if j.cancel != nil {
@@ -476,6 +514,10 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	j.mu.Unlock()
+	if !state.Terminal() {
+		s.log.Info("job_cancel_requested",
+			"trace_id", tid, "job_id", j.m.ID, "state", string(state))
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"job_id": j.m.ID, "state": state, "canceling": !state.Terminal()})
 }
 

@@ -111,9 +111,10 @@ func NewJobID() (string, error) {
 }
 
 // CreateJob materializes a fresh job directory and its initial queued
-// manifest. The manifest write is the commit point: a crash before it
-// leaves nothing recovery would pick up.
-func (s *Store) CreateJob(spec JobSpec) (Manifest, error) {
+// manifest, stamped with the submit request's trace id. The manifest
+// write is the commit point: a crash before it leaves nothing recovery
+// would pick up.
+func (s *Store) CreateJob(spec JobSpec, traceID string) (Manifest, error) {
 	id, err := NewJobID()
 	if err != nil {
 		return Manifest{}, err
@@ -123,7 +124,7 @@ func (s *Store) CreateJob(spec JobSpec) (Manifest, error) {
 	}
 	now := time.Now().UTC().Format(time.RFC3339)
 	m := Manifest{
-		ID: id, Spec: spec, State: JobQueued, CacheKey: spec.CacheKey(),
+		ID: id, Spec: spec, State: JobQueued, CacheKey: spec.CacheKey(), TraceID: traceID,
 		CreatedAt: now, UpdatedAt: now,
 	}
 	return m, s.WriteManifest(m)

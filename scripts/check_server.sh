@@ -12,11 +12,16 @@
 #      Its digest must equal the direct run's — exactly-once resume, no
 #      dropped or duplicated bicliques.
 #
-# Phase 2 — load shedding:
+# Phase 2 — load shedding + telemetry:
 #   4. Restart mbed with a one-job admission window, submit a slow job,
 #      then a saturating burst: at least one submit must be shed with
-#      429 + Retry-After while /debug/progress and job status reads keep
-#      answering 200.
+#      429 + Retry-After (echoing the client's X-MBE-Trace) while
+#      /debug/progress and job status reads keep answering 200.
+#   5. Scrape /metrics mid-burst: the service families must be present
+#      and parseable, and counters must be monotone across two scrapes.
+#
+# The daemon runs with -log-format json throughout, so the log file the
+# script dumps on failure is machine-parseable structured events.
 #
 # A machine fast enough to finish the job before the kill lands is
 # tolerated: recovery then adopts a done job and the digests must still
@@ -65,7 +70,7 @@ wait_http() { # wait_http <url> <seconds>
 }
 
 start_daemon() { # start_daemon <extra flags...>
-  "$mbed" -addr "$addr" -dir "$work/store" -ckpt-every 200ms "$@" \
+  "$mbed" -addr "$addr" -dir "$work/store" -ckpt-every 200ms -log-format json "$@" \
     >>"$work/mbed.log" 2>&1 &
   daemon_pid=$!
   disown "$daemon_pid" 2>/dev/null # silence bash's "Killed" notice on kill -9
@@ -79,12 +84,15 @@ echo "check_server: reference digest $ref"
 
 # --- Phase 1: kill -9 mid-run, restart, resume ------------------------
 
+trace_id="check-trace-$$"
+
 start_daemon
 graph_id=$(curl -fsS -X POST "$base/v1/graphs?dataset=$dataset" | json_field graph_id)
 [ -n "$graph_id" ] || fail "graph submission returned no graph_id"
-job_id=$(curl -fsS -X POST -d "{\"graph_id\":\"$graph_id\",\"threads\":1}" "$base/v1/jobs" | json_field job_id)
+job_id=$(curl -fsS -X POST -H "X-MBE-Trace: $trace_id" \
+  -d "{\"graph_id\":\"$graph_id\",\"threads\":1}" "$base/v1/jobs" | json_field job_id)
 [ -n "$job_id" ] || fail "job submission returned no job_id"
-echo "check_server: job $job_id running on graph $graph_id"
+echo "check_server: job $job_id running on graph $graph_id (trace $trace_id)"
 
 # Wait for the first durable checkpoint so the kill lands after real
 # progress, then kill -9 — no graceful anything.
@@ -122,6 +130,13 @@ if [ "$got" != "$ref" ]; then
   recovered: $got"
 fi
 echo "check_server: digests identical — kill -9 + restart lost nothing"
+
+# The trace id must have survived the crash: the restarted daemon reads
+# it back from the persisted manifest, not from any in-memory state.
+recovered_trace=$(printf '%s' "$status" | json_field trace_id)
+[ "$recovered_trace" = "$trace_id" ] \
+  || fail "trace id changed across kill -9: submitted $trace_id, recovered '$recovered_trace'"
+echo "check_server: trace id $trace_id survived kill -9 recovery"
 kill -9 "$daemon_pid" 2>/dev/null
 wait_dead "$daemon_pid" || fail "daemon pid lingered after kill -9"
 daemon_pid=""
@@ -140,16 +155,46 @@ for seed in 1 2 3 4 5 6 7 8; do
     -d "{\"graph_id\":\"$graph_id\",\"threads\":1,\"ordering\":\"rand\",\"seed\":$seed}" \
     "$base/v1/jobs")
   if [ "$code" = "429" ]; then
-    retry_after=$(curl -s -o /dev/null -D - -X POST \
+    curl -s -o /dev/null -D "$work/shed_headers" -X POST \
+      -H "X-MBE-Trace: shed-trace-$$" \
       -d "{\"graph_id\":\"$graph_id\",\"threads\":1,\"ordering\":\"rand\",\"seed\":$seed}" \
-      "$base/v1/jobs" | tr -d '\r' | sed -n 's/^[Rr]etry-[Aa]fter: *//p')
+      "$base/v1/jobs"
+    retry_after=$(tr -d '\r' <"$work/shed_headers" | sed -n 's/^[Rr]etry-[Aa]fter: *//p')
     [ -n "$retry_after" ] || fail "429 without a Retry-After header"
+    # A shed response still belongs to the client's trace.
+    shed_trace=$(tr -d '\r' <"$work/shed_headers" | sed -n 's/^[Xx]-[Mm][Bb][Ee]-[Tt]race: *//p')
+    [ "$shed_trace" = "shed-trace-$$" ] \
+      || fail "429 did not echo X-MBE-Trace (got '$shed_trace')"
     shed=1
     break
   fi
 done
 [ "$shed" = "1" ] || fail "burst was never shed with 429 despite -max-jobs 1"
-echo "check_server: burst shed with 429, Retry-After: ${retry_after}s"
+echo "check_server: burst shed with 429 (trace echoed), Retry-After: ${retry_after}s"
+
+# --- Telemetry: /metrics mid-burst ------------------------------------
+
+# The saturating job is still running and sheds just happened: every
+# service family must be live, and counters must be monotone.
+curl -fsS "$base/metrics" >"$work/metrics1" || fail "/metrics down while saturated"
+for fam in mbed_http_requests_total mbed_http_request_seconds_bucket \
+  mbed_job_queue_wait_seconds_count mbed_job_run_seconds_count \
+  mbed_admission_shed_total mbed_jobs_active mbed_jobs_submitted_total; do
+  grep -q "^$fam" "$work/metrics1" || fail "/metrics missing family $fam"
+done
+grep -q '^mbed_admission_shed_total{reason="queue_full"} [1-9]' "$work/metrics1" \
+  || fail "shed counter did not record the queue_full 429s"
+
+curl -fsS -o /dev/null "$base/v1/jobs/$job_id" # traffic between scrapes
+curl -fsS "$base/metrics" >"$work/metrics2" || fail "second /metrics scrape failed"
+sum_requests() { # total of mbed_http_requests_total across labels
+  awk '/^mbed_http_requests_total{/ { s += $NF } END { printf "%d", s }' "$1"
+}
+r1=$(sum_requests "$work/metrics1")
+r2=$(sum_requests "$work/metrics2")
+[ "$r1" -gt 0 ] || fail "mbed_http_requests_total scraped as 0"
+[ "$r2" -gt "$r1" ] || fail "request counter not monotone across scrapes ($r1 -> $r2)"
+echo "check_server: /metrics live mid-burst, counters monotone ($r1 -> $r2)"
 
 # Reads must keep answering while saturated.
 curl -fsS -o /dev/null "$base/debug/progress" || fail "/debug/progress down while saturated"
