@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-kernels bench-parallel bench-server repro repro-quick fuzz difftest difftest-extended clean
+.PHONY: all build test test-race bench bench-kernels bench-parallel bench-server check-dist repro repro-quick fuzz difftest difftest-extended clean
 
 all: build test
 
@@ -40,6 +40,17 @@ bench-parallel:
 # the CI server-smoke job.
 bench-server:
 	$(GO) run ./cmd/mbeload -self -dataset UL -levels 1,2,4,8 -jobs 8 -json BENCH_server.json
+
+# Distributed-enumeration smoke (docs/DISTRIBUTED.md): coordinator plus
+# three workers on this host, one worker kill -9'd mid-run, global digest
+# compared against a direct single-process run; then the dist package's
+# in-process cluster tests under the race detector.
+check-dist:
+	$(GO) build -o mbecoord_bin ./cmd/mbecoord
+	$(GO) build -o mbe_bin ./cmd/mbe
+	bash scripts/check_dist.sh ./mbecoord_bin ./mbe_bin GH
+	$(GO) test -race -count=1 ./internal/dist
+	rm -f mbecoord_bin mbe_bin
 
 # Regenerate every table and figure of the paper's evaluation (text tables
 # to stdout, CSV series to results/). Takes tens of minutes at full scale.

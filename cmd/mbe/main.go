@@ -35,6 +35,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -77,6 +78,8 @@ func main() {
 		fsync     = flag.String("fsync", "checkpoint", "spool fsync policy: never|checkpoint|always")
 		ckptEvery = flag.Duration("ckpt-every", 0, "checkpoint cadence for -out (0 = default 10s, negative = only at exit)")
 		compress  = flag.Bool("spool-compress", false, "flate-compress spool frames")
+		roots     = flag.String("roots", "", "enumerate only the root range a:b of the ordered V side (b empty = |V|); disjoint ranges partition the output exactly (AdaMBE family and BBK)")
+		digestOut = flag.Bool("digest", false, "accumulate the run's order-invariant multiset digest and print it; digests of disjoint -roots shards merge into the full run's digest")
 	)
 	flag.Parse()
 
@@ -155,9 +158,27 @@ func main() {
 	if *maxMem > 0 {
 		opts.MaxMemoryBytes = *maxMem << 20
 	}
+	if *roots != "" {
+		start, end, err := parseRootRange(*roots)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbe:", err)
+			os.Exit(2)
+		}
+		opts.StartRoot, opts.EndRoot = start, end
+	}
 	if *print {
 		opts.OnBiclique = func(L, R []int32) {
 			fmt.Printf("L=%v R=%v\n", L, R)
+		}
+	}
+	var runDigest mbe.Digest
+	if *digestOut {
+		inner := opts.OnBiclique
+		opts.OnBiclique = func(L, R []int32) {
+			runDigest.Observe(L, R)
+			if inner != nil {
+				inner(L, R)
+			}
 		}
 	}
 	finishObs := startObs(&opts, g, a, *dataset+*input+*binary,
@@ -184,6 +205,9 @@ func main() {
 	}
 	fmt.Printf("algorithm: %s\nmaximal bicliques: %d (%s)\nenumeration time: %v\n",
 		a, res.Count, status, res.Elapsed.Round(time.Millisecond))
+	if *digestOut {
+		fmt.Printf("digest: %s\n", runDigest.String())
+	}
 	if *out != "" {
 		printSpoolStatus(*out)
 	}
@@ -427,6 +451,34 @@ func runFinder(g *mbe.Graph, find string, query, minL, minR, threads, tau int, t
 		return fmt.Errorf("unknown -find %q (want edge|balanced|vertex)", find)
 	}
 	return nil
+}
+
+// parseRootRange parses the -roots "a:b" syntax into (StartRoot, EndRoot).
+// "a:" leaves EndRoot 0 (= |V|). Empty/reversed ranges and ranges past |V|
+// are rejected by Enumerate, where the graph's size is known.
+func parseRootRange(s string) (start, end int32, err error) {
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("-roots %q: want a:b (e.g. 0:1000) or a: (to the last root)", s)
+	}
+	if a != "" {
+		v, perr := strconv.ParseInt(a, 10, 32)
+		if perr != nil || v < 0 {
+			return 0, 0, fmt.Errorf("-roots %q: bad start root %q", s, a)
+		}
+		start = int32(v)
+	}
+	if b != "" {
+		v, perr := strconv.ParseInt(b, 10, 32)
+		if perr != nil || v < 0 {
+			return 0, 0, fmt.Errorf("-roots %q: bad end root %q", s, b)
+		}
+		end = int32(v)
+		if end <= start {
+			return 0, 0, fmt.Errorf("-roots %q: empty or reversed range", s)
+		}
+	}
+	return start, end, nil
 }
 
 func loadGraph(input, binary, dataset string) (*mbe.Graph, error) {

@@ -91,15 +91,17 @@ type Options struct {
 	// Only BBK reports metrics; the paper competitors ignore it (their
 	// instrumentation lives in the figures they were built to reproduce).
 	Metrics *core.Metrics
-	// Sink, Frontier and StartRoot attach the durable emission path
-	// (root-tagged emission, frontier watermark, resume-from-watermark)
-	// with the same contract as the core engines' core.Options fields.
-	// BBK only: it shares the core engines' root partition (a maximal
-	// biclique is emitted under root min(R)), so spool checkpoints are
-	// exact for it too. The paper competitors ignore all three.
+	// Sink, Frontier, StartRoot and EndRoot attach the durable emission
+	// path (root-tagged emission, frontier watermark, resume-from-watermark,
+	// bounded root ranges) with the same contract as the core engines'
+	// core.Options fields. BBK only: it shares the core engines' root
+	// partition (a maximal biclique is emitted under root min(R)), so spool
+	// checkpoints and root-range shards are exact for it too. The paper
+	// competitors ignore all four.
 	Sink      core.Sink
 	Frontier  core.FrontierObserver
 	StartRoot int32
+	EndRoot   int32
 }
 
 // Instrumentation sites where Options.FaultHook fires.
@@ -136,6 +138,12 @@ func (o *Options) stopConfig() tle.Config {
 // is recovered into an error wrapping core.ErrPanic with no goroutine
 // leaked.
 func Run(g *graph.Bipartite, alg Algorithm, opts Options) (core.Result, error) {
+	if opts.StartRoot < 0 {
+		return core.Result{}, fmt.Errorf("%w: negative StartRoot %d", core.ErrBadOptions, opts.StartRoot)
+	}
+	if err := core.ValidateRootRange(opts.StartRoot, opts.EndRoot, g.NV()); err != nil {
+		return core.Result{}, err
+	}
 	start := time.Now()
 	shared := &tle.Shared{}
 	var res core.Result

@@ -93,7 +93,7 @@ func runBBK(g *graph.Bipartite, opts Options, shared *tle.Shared) (res core.Resu
 			err = core.PanicError("BBK", r)
 		}
 	}()
-	e.run(opts.StartRoot)
+	e.run(opts.StartRoot, opts.EndRoot)
 	return res, nil
 }
 
@@ -132,14 +132,18 @@ func (e *bbkEngine) intersectLen(a, b []int32) int {
 	return vset.IntersectLen(a, b)
 }
 
-// run is the root loop: one first-level node per V vertex with StartRoot
-// resume semantics and the core engines' frontier contract —
-// RootInlineDone fires exactly once per root at or above StartRoot, on
+// run is the root loop: one first-level node per V vertex with
+// StartRoot/EndRoot range semantics and the core engines' frontier
+// contract — RootInlineDone fires exactly once per root in the range, on
 // every skip path, never after a stop.
-func (e *bbkEngine) run(startRoot int32) {
+func (e *bbkEngine) run(startRoot, endRoot int32) {
 	g := e.g
 	th := newTwoHop(g)
-	for vp := startRoot; vp < int32(g.NV()); vp++ {
+	limit := int32(g.NV())
+	if endRoot > 0 {
+		limit = endRoot
+	}
+	for vp := startRoot; vp < limit; vp++ {
 		if e.stop.Hit() {
 			return
 		}

@@ -46,6 +46,7 @@ type engine struct {
 	frontier  FrontierObserver
 	curRoot   int32
 	startRoot int32
+	endRoot   int32 // exclusive root limit; 0 means |V|
 
 	collect bool
 	metrics Metrics
@@ -110,6 +111,7 @@ func newEngine(g *graph.Bipartite, opts Options, shared *tle.Shared, wid int) *e
 		sink:      opts.Sink,
 		frontier:  opts.Frontier,
 		startRoot: opts.StartRoot,
+		endRoot:   opts.EndRoot,
 	}
 	e.skipChild = opts.SkipChild
 	e.skipSubtree = opts.SkipSubtree
@@ -208,6 +210,15 @@ func (e *engine) gatherTwoHop(vp int32, lq []int32, skip []bool, rs *rootScratch
 	slices.Sort(rs.suffix)
 }
 
+// rootLimit resolves the engine's exclusive root bound: EndRoot when a
+// range was requested, |V| otherwise.
+func (e *engine) rootLimit(nv int) int32 {
+	if e.endRoot > 0 {
+		return e.endRoot
+	}
+	return int32(nv)
+}
+
 // runGlobalRoot runs the root loop of Algorithm 1 (Baseline / AdaMBE-BIT):
 // for every v' ∈ V (ascending), generate the first-level node from v's
 // two-hop neighborhood and recurse with searchGlobal.
@@ -218,7 +229,7 @@ func (e *engine) runGlobalRoot() {
 		e.metrics.observeNode(len(e.allU), nv)
 	}
 	var rs rootScratch
-	for vp := e.startRoot; vp < int32(nv); vp++ {
+	for vp, limit := e.startRoot, e.rootLimit(nv); vp < limit; vp++ {
 		e.probe.RootAdvance(int64(vp))
 		if g.DegV(vp) == 0 {
 			e.rootDone(vp)
@@ -299,7 +310,7 @@ func (e *engine) runLNRoot() {
 	pruned := make([]bool, nv)
 	e.chargeMem(int64(nv))
 	var rs rootScratch
-	for vp := e.startRoot; vp < int32(nv); vp++ {
+	for vp, limit := e.startRoot, e.rootLimit(nv); vp < limit; vp++ {
 		e.probe.RootAdvance(int64(vp))
 		if g.DegV(vp) == 0 || pruned[vp] {
 			e.rootDone(vp)

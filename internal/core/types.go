@@ -175,6 +175,18 @@ type Options struct {
 	// non-maximal nodes; see docs/DURABILITY.md) but means a resumed run
 	// may expand more nodes than the original would have.
 	StartRoot int32
+	// EndRoot, when positive, makes the root loops stop before this root
+	// vertex: only the subtrees of roots in [StartRoot, EndRoot) are
+	// enumerated. Zero means |V| (every root). Because root subtrees
+	// partition the output — each maximal biclique is emitted exactly
+	// once, under the minimal vertex of its R side — the ranges
+	// [a, b) and [b, c) together emit exactly what [a, c) does, which is
+	// what lets a distributed coordinator shard the root space across
+	// workers and merge per-range digests (see internal/dist and
+	// docs/DISTRIBUTED.md). An EndRoot at or below a positive StartRoot
+	// (an empty or reversed range) or beyond |V| is rejected by
+	// Enumerate.
+	EndRoot int32
 
 	// PadBitmaps forces every bitmap CG's mask width to ⌈τ/64⌉ words
 	// instead of ⌈|L*|/64⌉. The paper's τ-sensitivity analysis (Fig. 11,
@@ -415,6 +427,35 @@ func (m *Metrics) merge(o *Metrics) {
 // ErrBadOptions reports invalid enumeration options.
 var ErrBadOptions = errors.New("core: invalid options")
 
+// ValidateRootRange checks a [start, end) root range against a graph
+// with nv roots: end == 0 means "to the last root" and is always valid;
+// a negative, empty, or reversed range, or one reaching past nv, is an
+// ErrBadOptions. Shared by every layer that plumbs StartRoot/EndRoot
+// (core, baselines, the public API and internal/dist), so the error
+// vocabulary cannot drift between them.
+// rootFrontierEnd is the exclusive end of the run's root frontier — the
+// value progress reporting treats as "100% of roots".
+func rootFrontierEnd(opts Options, nv int) int32 {
+	if opts.EndRoot > 0 {
+		return opts.EndRoot
+	}
+	return int32(nv)
+}
+
+func ValidateRootRange(start, end int32, nv int) error {
+	switch {
+	case end < 0:
+		return fmt.Errorf("%w: negative EndRoot %d", ErrBadOptions, end)
+	case end == 0:
+		return nil
+	case end <= start:
+		return fmt.Errorf("%w: empty or reversed root range [%d, %d)", ErrBadOptions, start, end)
+	case end > int32(nv):
+		return fmt.Errorf("%w: EndRoot %d exceeds the graph's %d roots", ErrBadOptions, end, nv)
+	}
+	return nil
+}
+
 // ErrPanic reports that an enumeration worker panicked. Enumerate
 // recovers the panic, winds the run down without leaking goroutines, and
 // returns partial results alongside an error wrapping ErrPanic.
@@ -466,6 +507,9 @@ func Enumerate(g *graph.Bipartite, opts Options) (Result, error) {
 	if opts.StartRoot < 0 {
 		return Result{}, fmt.Errorf("%w: negative StartRoot %d", ErrBadOptions, opts.StartRoot)
 	}
+	if err := ValidateRootRange(opts.StartRoot, opts.EndRoot, g.NV()); err != nil {
+		return Result{}, err
+	}
 
 	start := time.Now()
 	shared := &tle.Shared{}
@@ -478,7 +522,7 @@ func Enumerate(g *graph.Bipartite, opts Options) (Result, error) {
 		Shared:         shared,
 		Deadline:       opts.Deadline,
 		MemBudgetBytes: opts.MaxMemoryBytes,
-		Frontier:       int64(g.NV()),
+		Frontier:       int64(rootFrontierEnd(opts, g.NV())),
 	})
 	var res Result
 	var err error

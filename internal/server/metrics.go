@@ -22,6 +22,7 @@ import (
 //	mbed_parallelism_sheds_total          counter (memory-budget thread halvings)
 //	mbed_admission_shed_total{reason}     counter (rate_limit|queue_full|mem_budget)
 //	mbed_jobs_recovered_total             counter (restart re-enqueues)
+//	mbed_ckpt_corrupt_recovered_total     counter (torn checkpoints degraded to from-scratch resume)
 //	mbed_cache_hits_total                 counter (result-cache serves)
 //	mbed_cache_misses_total               counter (submits that enumerate)
 //	mbed_spool_bytes_total                counter (bytes flushed to job spools)
@@ -41,6 +42,7 @@ type serverMetrics struct {
 	memSheds      *obs.Counter
 	sheds         *obs.CounterVec
 	recovered     *obs.Counter
+	ckptCorrupt   *obs.Counter
 	cacheHits     *obs.Counter
 	cacheMisses   *obs.Counter
 	spoolBytes    *obs.Counter
@@ -70,6 +72,8 @@ func newServerMetrics() *serverMetrics {
 			"Submits shed with 429, by admission gate.", "reason"),
 		recovered: reg.NewCounter("mbed_jobs_recovered_total",
 			"Interrupted jobs re-enqueued by restart recovery."),
+		ckptCorrupt: reg.NewCounter("mbed_ckpt_corrupt_recovered_total",
+			"Torn/corrupt checkpoints found on resume and degraded to a from-scratch restart."),
 		cacheHits: reg.NewCounter("mbed_cache_hits_total",
 			"Job submits served from the digest-keyed result cache."),
 		cacheMisses: reg.NewCounter("mbed_cache_misses_total",

@@ -127,6 +127,13 @@ func TestRecoveryResumesWithTornCheckpoint(t *testing.T) {
 		t.Errorf("digest after torn-checkpoint recovery %s (count %d) != direct %s (count %d)",
 			final.Result.Digest, final.Result.Count, want.String(), want.Count)
 	}
+	// The silent-data-loss near-miss must be observable: the corrupt
+	// checkpoint increments its dedicated counter (it pages, the generic
+	// job_warning does not — docs/OBSERVABILITY.md).
+	if m := d2.scrapeMetrics(); m["mbed_ckpt_corrupt_recovered_total"] < 1 {
+		t.Errorf("mbed_ckpt_corrupt_recovered_total = %v after torn-checkpoint recovery, want >= 1",
+			m["mbed_ckpt_corrupt_recovered_total"])
+	}
 }
 
 // TestRecoveryAdoptsDoneJobs: completed jobs survive a restart as cache

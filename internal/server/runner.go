@@ -8,6 +8,7 @@ import (
 	"time"
 
 	mbe "repro"
+	"repro/internal/ckpt"
 	"repro/internal/obs"
 	"repro/internal/spool"
 )
@@ -192,6 +193,16 @@ func (s *Server) attempt(jobCtx context.Context, j *job, g *mbe.Graph, try int) 
 		Resume:     spool.IsSpool(spoolDir),
 		Checkpoint: mbe.CheckpointOptions{Every: s.cfg.CheckpointEvery},
 		OnWarning: func(e error) {
+			// A torn checkpoint degraded to a from-scratch resume is the one
+			// warning operators page on (durable progress was lost): count it
+			// and emit a dedicated structured event instead of the generic one.
+			var corrupt *ckpt.CorruptError
+			if errors.As(e, &corrupt) {
+				s.met.ckptCorrupt.Inc()
+				s.log.Warn("ckpt_corrupt_recovered", "trace_id", m.TraceID, "job_id", m.ID,
+					"path", corrupt.Path, "err", e)
+				return
+			}
 			s.log.Warn("job_warning", "trace_id", m.TraceID, "job_id", m.ID, "err", e)
 		},
 	}

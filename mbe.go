@@ -373,6 +373,19 @@ type Options struct {
 	// is readable while the run is in flight.
 	Obs *Recorder
 
+	// StartRoot and EndRoot bound the run to the root range
+	// [StartRoot, EndRoot) of V — interpreted after Ordering is applied,
+	// i.e. in the same permuted root order a spool checkpoint watermark
+	// uses. EndRoot == 0 means |V|. Every maximal biclique whose minimal
+	// R-vertex (in the ordered id space) falls inside the range is emitted
+	// exactly once and no others, so disjoint ranges partition the full
+	// output — the contract the distributed coordinator (internal/dist,
+	// docs/DISTRIBUTED.md) shards on. AdaMBE family and BBK only; an empty
+	// or reversed range, or one combined with SpoolDir/Resume (a spool
+	// manages its own root frontier) or a paper competitor, is an error.
+	StartRoot int32
+	EndRoot   int32
+
 	// SpoolDir, if non-empty, streams every maximal biclique to a durable
 	// sharded on-disk spool in that directory (created if absent) and
 	// periodically checkpoints the run so an interrupted enumeration can
@@ -433,6 +446,9 @@ func Enumerate(g *Graph, opts Options) (Result, error) {
 	if opts.Resume && opts.SpoolDir == "" {
 		return Result{}, fmt.Errorf("mbe: Resume requires SpoolDir")
 	}
+	if (opts.StartRoot != 0 || opts.EndRoot != 0) && opts.SpoolDir != "" {
+		return Result{}, fmt.Errorf("mbe: StartRoot/EndRoot cannot be combined with SpoolDir (a spool manages its own root frontier)")
+	}
 	switch opts.Algorithm {
 	case AdaMBE, ParAdaMBE, BaselineMBE, AdaMBELN, AdaMBEBIT:
 		if opts.SpoolDir != "" {
@@ -447,6 +463,9 @@ func Enumerate(g *Graph, opts Options) (Result, error) {
 	case FMBE, PMBE, OOMBEA, ParMBE, GMBESim:
 		if opts.SpoolDir != "" {
 			return Result{}, fmt.Errorf("mbe: SpoolDir is only supported by the AdaMBE family and BBK, not %s", opts.Algorithm)
+		}
+		if opts.StartRoot != 0 || opts.EndRoot != 0 {
+			return Result{}, fmt.Errorf("mbe: StartRoot/EndRoot are only supported by the AdaMBE family and BBK, not %s", opts.Algorithm)
 		}
 		alg := map[Algorithm]baselines.Algorithm{
 			FMBE: baselines.FMBE, PMBE: baselines.PMBE, OOMBEA: baselines.OOMBEA,
@@ -520,6 +539,8 @@ func enumerateBBK(g *Graph, opts Options) (Result, error) {
 		Context:        opts.Context,
 		MaxMemoryBytes: opts.MaxMemoryBytes,
 		Metrics:        opts.Metrics,
+		StartRoot:      opts.StartRoot,
+		EndRoot:        opts.EndRoot,
 	})
 }
 
@@ -553,6 +574,8 @@ func enumerateCore(g *Graph, opts Options) (Result, error) {
 		MaxMemoryBytes: opts.MaxMemoryBytes,
 		Metrics:        opts.Metrics,
 		Obs:            opts.Obs,
+		StartRoot:      opts.StartRoot,
+		EndRoot:        opts.EndRoot,
 	})
 }
 
